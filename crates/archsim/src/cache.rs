@@ -1,0 +1,248 @@
+//! A set-associative write-back cache with true-LRU replacement.
+
+use crate::CacheConfig;
+
+/// Result of one cache lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheAccess {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// On a fill that evicted a dirty line: the evicted line's address.
+    pub writeback: Option<u64>,
+    /// On a fill that evicted any line (dirty or clean): its address. Used
+    /// by inclusive parents to back-invalidate children.
+    pub evicted: Option<u64>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A single set-associative write-back cache with LRU replacement.
+///
+/// Addresses are byte addresses; the cache operates on line granularity.
+///
+/// ```
+/// use archsim::{Cache, CacheConfig};
+/// let mut c = Cache::new(&CacheConfig { size_bytes: 1024, ways: 2, latency: 1 }, 64);
+/// assert!(!c.access(0, false).hit); // cold miss (fills)
+/// assert!(c.access(32, false).hit); // same line
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    line_shift: u32,
+    stamp: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache from `cfg` with the given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two or the geometry is
+    /// degenerate.
+    pub fn new(cfg: &CacheConfig, line_bytes: usize) -> Self {
+        let num_sets = cfg.num_sets(line_bytes);
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![vec![Line::default(); cfg.ways]; num_sets],
+            set_mask: num_sets as u64 - 1,
+            line_shift: line_bytes.trailing_zeros(),
+            stamp: 0,
+        }
+    }
+
+    #[inline]
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// Looks up `addr`; on a miss, fills the line (write-allocate). `write`
+    /// marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> CacheAccess {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let (set_idx, tag) = self.locate(addr);
+        let shift = self.line_shift;
+        let mask_bits = self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = stamp;
+            line.dirty |= write;
+            return CacheAccess { hit: true, writeback: None, evicted: None };
+        }
+        // Miss: pick the LRU victim (preferring invalid ways).
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("cache has at least one way");
+        let mut writeback = None;
+        let mut evicted = None;
+        if victim.valid {
+            let evicted_addr = ((victim.tag << mask_bits) | set_idx as u64) << shift;
+            evicted = Some(evicted_addr);
+            if victim.dirty {
+                writeback = Some(evicted_addr);
+            }
+        }
+        *victim = Line { tag, valid: true, dirty: write, lru: stamp };
+        CacheAccess { hit: false, writeback, evicted }
+    }
+
+    /// Returns `true` if the line containing `addr` is present.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.locate(addr);
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr` if present; returns whether it
+    /// was dirty (the caller decides what to do with the data).
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let (set_idx, tag) = self.locate(addr);
+        let line = self.sets[set_idx].iter_mut().find(|l| l.valid && l.tag == tag)?;
+        line.valid = false;
+        Some(std::mem::replace(&mut line.dirty, false))
+    }
+
+    /// Marks the line containing `addr` dirty if present (used when a write
+    /// is propagated to an inclusive parent).
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let (set_idx, tag) = self.locate(addr);
+        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every line, forgetting dirtiness (used between independent
+    /// simulations, never mid-run).
+    pub fn flush_silently(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::default();
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64 B lines = 256 B.
+        Cache::new(&CacheConfig { size_bytes: 256, ways: 2, latency: 1 }, 64)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false).hit);
+        assert!(c.access(0x100, false).hit);
+        assert!(c.access(0x13F, false).hit, "same 64-B line");
+        assert!(!c.access(0x140, false).hit, "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 holds lines with (line_number % 2 == 0): 0x000, 0x080, 0x100.
+        c.access(0x000, false);
+        c.access(0x080, false);
+        c.access(0x000, false); // touch 0x000 so 0x080 is LRU
+        let res = c.access(0x100, false); // evicts 0x080
+        assert!(!res.hit);
+        assert_eq!(res.evicted, Some(0x080));
+        assert!(c.contains(0x000));
+        assert!(!c.contains(0x080));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x080, false);
+        let res = c.access(0x100, false); // evicts dirty 0x000 (LRU)
+        assert_eq!(res.writeback, Some(0x000));
+        assert_eq!(res.evicted, Some(0x000));
+    }
+
+    #[test]
+    fn clean_eviction_reports_no_writeback() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x080, false);
+        let res = c.access(0x100, false);
+        assert_eq!(res.writeback, None);
+        assert!(res.evicted.is_some());
+    }
+
+    #[test]
+    fn invalidate_returns_dirtiness() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x040, false);
+        assert_eq!(c.invalidate(0x000), Some(true));
+        assert_eq!(c.invalidate(0x040), Some(false));
+        assert_eq!(c.invalidate(0x040), None);
+        assert!(!c.contains(0x000));
+    }
+
+    #[test]
+    fn mark_dirty_then_evict_writes_back() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        assert!(c.mark_dirty(0x000));
+        c.access(0x080, false);
+        let res = c.access(0x100, false);
+        assert_eq!(res.writeback, Some(0x000));
+        assert!(!c.mark_dirty(0xFC0), "absent line cannot be dirtied");
+    }
+
+    #[test]
+    fn flush_silently_empties() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x040, true);
+        assert_eq!(c.resident_lines(), 2);
+        c.flush_silently();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(0x000, false).hit);
+    }
+
+    #[test]
+    fn write_allocate_fills_dirty() {
+        let mut c = tiny();
+        c.access(0x000, true);
+        c.access(0x080, false);
+        // Evicting 0x000 must produce a writeback even though it was only
+        // ever written once at fill time.
+        let res = c.access(0x100, false);
+        assert_eq!(res.writeback, Some(0x000));
+    }
+
+    #[test]
+    fn set_indexing_separates_conflicting_lines() {
+        let mut c = tiny();
+        // Lines 0x000 and 0x040 map to different sets (consecutive lines).
+        c.access(0x000, false);
+        c.access(0x040, false);
+        assert!(c.contains(0x000));
+        assert!(c.contains(0x040));
+        assert_eq!(c.resident_lines(), 2);
+    }
+}

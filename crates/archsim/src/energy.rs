@@ -1,0 +1,145 @@
+//! Memory-system energy model (McPAT / Micron-datasheet substitute).
+//!
+//! The paper obtains chip-component energy from McPAT and DRAM energy from
+//! Micron datasheets (§VI-A). This analytic substitute charges a fixed
+//! energy per access at each level plus core leakage per cycle, using
+//! representative 65 nm-class constants. Absolute joules are not the point
+//! (the paper reports none); the model exists so energy *ratios* between
+//! runtimes can be examined and so the accounting machinery is complete.
+
+use crate::{Level, MemStats, Region};
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy constants, in picojoules.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per L1 access.
+    pub l1_pj: f64,
+    /// Energy per L2 access.
+    pub l2_pj: f64,
+    /// Energy per L3 access.
+    pub l3_pj: f64,
+    /// Energy per DRAM line transfer (fetch or writeback).
+    pub dram_pj: f64,
+    /// Core leakage + clock power per cycle, per core.
+    pub core_static_pj_per_cycle: f64,
+}
+
+impl EnergyModel {
+    /// Representative 65 nm-class constants.
+    pub fn default_65nm() -> Self {
+        EnergyModel {
+            l1_pj: 15.0,
+            l2_pj: 45.0,
+            l3_pj: 250.0,
+            dram_pj: 20_000.0,
+            // A 65 nm OOO core averages a few watts; 3 nJ/cycle ~ 3 W at
+            // 1 GHz (cf. the Core2 E6750's ~32 W TDP per core with typical
+            // activity factors well below TDP).
+            core_static_pj_per_cycle: 3_000.0,
+        }
+    }
+
+    /// Estimates energy for a run that executed `cycles` cycles on
+    /// `num_cores` cores with the given memory statistics.
+    pub fn estimate(&self, stats: &MemStats, cycles: u64, num_cores: usize) -> EnergyReport {
+        let mut l1 = 0u64;
+        let mut l2 = 0u64;
+        let mut l3 = 0u64;
+        let mut dram = 0u64;
+        for region in Region::ALL {
+            // An access satisfied at level N touched every level above it too.
+            let at_l1 = stats.served_at(region, Level::L1);
+            let at_l2 = stats.served_at(region, Level::L2);
+            let at_l3 = stats.served_at(region, Level::L3);
+            let at_mem = stats.served_at(region, Level::Mem);
+            l1 += at_l1 + at_l2 + at_l3 + at_mem;
+            l2 += at_l2 + at_l3 + at_mem;
+            l3 += at_l3 + at_mem;
+            dram += at_mem + stats.dram_writebacks(region);
+        }
+        let dynamic_pj = l1 as f64 * self.l1_pj
+            + l2 as f64 * self.l2_pj
+            + l3 as f64 * self.l3_pj
+            + dram as f64 * self.dram_pj;
+        let static_pj = cycles as f64 * num_cores as f64 * self.core_static_pj_per_cycle;
+        EnergyReport {
+            dynamic_mj: dynamic_pj / 1e9,
+            static_mj: static_pj / 1e9,
+            dram_line_transfers: dram,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::default_65nm()
+    }
+}
+
+/// Result of an [`EnergyModel::estimate`] call.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Dynamic (per-access) energy in millijoules.
+    pub dynamic_mj: f64,
+    /// Static (leakage/clock) energy in millijoules.
+    pub static_mj: f64,
+    /// DRAM line transfers charged (fetches + writebacks).
+    pub dram_line_transfers: u64,
+}
+
+impl EnergyReport {
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.dynamic_mj + self.static_mj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_stats_zero_dynamic() {
+        let model = EnergyModel::default_65nm();
+        let r = model.estimate(&MemStats::new(), 0, 16);
+        assert_eq!(r.dynamic_mj, 0.0);
+        assert_eq!(r.static_mj, 0.0);
+        assert_eq!(r.dram_line_transfers, 0);
+    }
+
+    #[test]
+    fn dram_dominates_per_access() {
+        let model = EnergyModel::default_65nm();
+        assert!(model.dram_pj > 10.0 * model.l3_pj);
+        assert!(model.l3_pj > model.l2_pj);
+        assert!(model.l2_pj > model.l1_pj);
+    }
+
+    #[test]
+    fn deeper_accesses_charge_upper_levels_too() {
+        use crate::Region;
+        let model = EnergyModel::default_65nm();
+        let mut a = MemStats::new();
+        let mut b = MemStats::new();
+        // Same number of accesses, different depth.
+        for _ in 0..100 {
+            a.record(Region::VertexValue, Level::L1);
+            b.record(Region::VertexValue, Level::Mem);
+        }
+        let ra = model.estimate(&a, 0, 1);
+        let rb = model.estimate(&b, 0, 1);
+        assert!(rb.dynamic_mj > ra.dynamic_mj * 10.0);
+        assert_eq!(rb.dram_line_transfers, 100);
+    }
+
+    #[test]
+    fn static_scales_with_cores_and_cycles() {
+        let model = EnergyModel::default_65nm();
+        let s = MemStats::new();
+        let one = model.estimate(&s, 1000, 1);
+        let sixteen = model.estimate(&s, 1000, 16);
+        assert!((sixteen.static_mj / one.static_mj - 16.0).abs() < 1e-9);
+        assert_eq!(one.total_mj(), one.static_mj);
+    }
+}

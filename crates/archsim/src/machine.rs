@@ -1,0 +1,417 @@
+//! The simulated machine: private L1/L2 per core, shared banked inclusive
+//! L3 with directory-based invalidation, mesh NoC, and DRAM controllers.
+
+use crate::{AddressMap, Cache, DramModel, MeshNoc, MemStats, Region, SystemConfig};
+use std::collections::HashMap;
+
+/// Cache level (or main memory) at which an access was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// Private per-core L1 data cache.
+    L1 = 0,
+    /// Private per-core L2 (inclusive of L1).
+    L2 = 1,
+    /// Shared banked L3 (inclusive of all L2s).
+    L3 = 2,
+    /// Main memory.
+    Mem = 3,
+}
+
+/// Read or write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// A demand load.
+    Read,
+    /// A store (write-allocate, write-back).
+    Write,
+}
+
+/// Outcome of one simulated access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessResult {
+    /// Where the access was satisfied.
+    pub level: Level,
+    /// End-to-end latency in cycles, including NoC and DRAM queueing.
+    pub latency: u64,
+}
+
+/// The simulated multicore machine.
+///
+/// Every data access of a runtime goes through [`Machine::access`], naming
+/// the core, the data [`Region`], the element index, read/write, the cache
+/// level the request enters at ([`Level::L1`] for the general-purpose core,
+/// [`Level::L2`] for the ChGraph engine, which sits beside the L1 and
+/// "accesses the main memory via the L2 cache", §V-A), and the issuing
+/// component's local cycle count (used for DRAM contention).
+pub struct Machine {
+    cfg: SystemConfig,
+    map: AddressMap,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3_banks: Vec<Cache>,
+    noc: MeshNoc,
+    dram: DramModel,
+    stats: MemStats,
+    /// line address -> bitmask of cores whose private L2 holds the line.
+    directory: HashMap<u64, u32>,
+}
+
+impl Machine {
+    /// Builds the machine from a configuration and an address map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`].
+    pub fn new(cfg: SystemConfig, map: AddressMap) -> Self {
+        cfg.validate();
+        assert!(cfg.num_cores <= 32, "directory bitmask supports up to 32 cores");
+        let mut bank_cfg = cfg.l3;
+        bank_cfg.size_bytes /= cfg.l3_banks;
+        Machine {
+            l1: (0..cfg.num_cores).map(|_| Cache::new(&cfg.l1, cfg.line_bytes)).collect(),
+            l2: (0..cfg.num_cores).map(|_| Cache::new(&cfg.l2, cfg.line_bytes)).collect(),
+            l3_banks: (0..cfg.l3_banks).map(|_| Cache::new(&bank_cfg, cfg.line_bytes)).collect(),
+            noc: MeshNoc::new(cfg.noc),
+            dram: DramModel::new(cfg.dram),
+            stats: MemStats::new(),
+            directory: HashMap::new(),
+            cfg,
+            map,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The address map in use.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Accumulated access statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// DRAM controller statistics.
+    pub fn dram(&self) -> &DramModel {
+        &self.dram
+    }
+
+    #[inline]
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes as u64 - 1)
+    }
+
+    #[inline]
+    fn bank_of(&self, line_addr: u64) -> usize {
+        ((line_addr / self.cfg.line_bytes as u64) as usize) % self.cfg.l3_banks
+    }
+
+    /// Simulates one access. See the type-level docs for parameter meaning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= num_cores`, the region is not laid out, or the
+    /// index is out of range.
+    pub fn access(
+        &mut self,
+        core: usize,
+        region: Region,
+        index: u64,
+        kind: AccessKind,
+        entry: Level,
+        now: u64,
+    ) -> AccessResult {
+        assert!(core < self.cfg.num_cores, "core {core} out of range");
+        let addr = self.map.addr(region, index);
+        let line = self.line_addr(addr);
+        let write = kind == AccessKind::Write;
+        let mut latency = 0u64;
+
+        // ---- L1 (skipped for engine-entry accesses) ----
+        if entry == Level::L1 {
+            latency += self.cfg.l1.latency;
+            let l1_res = self.l1[core].access(addr, write);
+            if l1_res.hit {
+                if write {
+                    latency += self.invalidate_remote_sharers(core, line, region);
+                }
+                self.stats.record(region, Level::L1);
+                return AccessResult { level: Level::L1, latency };
+            }
+            // The miss above already allocated the line (single-pass model);
+            // fold the dirty victim, if any, into the inclusive L2 copy.
+            if let Some(victim) = l1_res.writeback {
+                if !self.l2[core].mark_dirty(victim) {
+                    // L2 (and hence L3) already lost the line.
+                    self.stats.record_writeback(self.map.classify(victim));
+                }
+            }
+        }
+
+        // ---- L2 ----
+        latency += self.cfg.l2.latency;
+        let l2_res = self.l2[core].access(addr, write && entry == Level::L2);
+        self.handle_private_fill_side_effects(core, l2_res.evicted, l2_res.writeback);
+        if l2_res.hit {
+            if write {
+                latency += self.invalidate_remote_sharers(core, line, region);
+            }
+            self.stats.record(region, Level::L2);
+            return AccessResult { level: Level::L2, latency };
+        }
+        // Newly filled into this core's L2: update the directory.
+        self.directory.entry(line).or_insert(0);
+        *self.directory.get_mut(&line).expect("just inserted") |= 1 << core;
+
+        // ---- L3 (over the NoC) ----
+        let bank = self.bank_of(line);
+        latency += self.noc.round_trip(core, bank);
+        latency += self.cfg.l3.latency;
+        let l3_res = self.l3_banks[bank].access(addr, false);
+        if let Some(evicted) = l3_res.evicted {
+            self.handle_l3_eviction(evicted, l3_res.writeback.is_some());
+        }
+        if write {
+            latency += self.invalidate_remote_sharers(core, line, region);
+        }
+        if l3_res.hit {
+            self.stats.record(region, Level::L3);
+            return AccessResult { level: Level::L3, latency };
+        }
+
+        // ---- DRAM ----
+        latency += self.dram.access(addr, self.cfg.line_bytes as u64, now + latency);
+        self.stats.record(region, Level::Mem);
+        AccessResult { level: Level::Mem, latency }
+    }
+
+    /// Handles the eviction side effects of a fill into a private L2:
+    /// back-invalidate the core's L1 copy (inclusion) and push dirty data
+    /// toward the L3 (or memory if the L3 no longer holds the line).
+    fn handle_private_fill_side_effects(
+        &mut self,
+        core: usize,
+        evicted: Option<u64>,
+        writeback: Option<u64>,
+    ) {
+        let Some(victim_line) = evicted else { return };
+        // Inclusion: L1 cannot keep a line its L2 lost.
+        let l1_dirty = self.l1[core].invalidate(victim_line).unwrap_or(false);
+        if let Some(shares) = self.directory.get_mut(&victim_line) {
+            *shares &= !(1 << core);
+            if *shares == 0 {
+                self.directory.remove(&victim_line);
+            }
+        }
+        if writeback.is_some() || l1_dirty {
+            let region = self.map.classify(victim_line);
+            // The read-only OAG arrays are never dirty (paper §V-A notes
+            // their lines are dropped, not written back); assert the model
+            // agrees rather than special-casing.
+            debug_assert!(!region.is_oag(), "OAG lines must never be dirty");
+            let bank = self.bank_of(victim_line);
+            if !self.l3_banks[bank].mark_dirty(victim_line) {
+                // L3 already lost the line: the writeback goes to DRAM.
+                self.stats.record_writeback(region);
+            }
+        }
+    }
+
+    /// Handles an L3 eviction. Inclusive hierarchy: back-invalidate every
+    /// private copy, folding dirtiness into the memory writeback.
+    /// Non-inclusive hierarchy: private copies (and the directory) survive;
+    /// only the L3's own dirty data is written back.
+    fn handle_l3_eviction(&mut self, victim_line: u64, l3_dirty: bool) {
+        let mut dirty = l3_dirty;
+        if self.cfg.l3_inclusive {
+            if let Some(shares) = self.directory.remove(&victim_line) {
+                for core in 0..self.cfg.num_cores {
+                    if shares & (1 << core) != 0 {
+                        dirty |= self.l1[core].invalidate(victim_line).unwrap_or(false);
+                        dirty |= self.l2[core].invalidate(victim_line).unwrap_or(false);
+                    }
+                }
+            }
+        }
+        if dirty {
+            self.stats.record_writeback(self.map.classify(victim_line));
+        }
+    }
+
+    /// MESI-lite: a write invalidates every other core's copy. Returns the
+    /// coherence latency charged (zero when the line is private).
+    fn invalidate_remote_sharers(&mut self, core: usize, line: u64, _region: Region) -> u64 {
+        let Some(shares) = self.directory.get_mut(&line) else { return 0 };
+        let others = *shares & !(1 << core);
+        if others == 0 {
+            return 0;
+        }
+        *shares &= 1 << core;
+        let mut dirty = false;
+        for other in 0..self.cfg.num_cores {
+            if others & (1 << other) != 0 {
+                dirty |= self.l1[other].invalidate(line).unwrap_or(false);
+                dirty |= self.l2[other].invalidate(line).unwrap_or(false);
+            }
+        }
+        if dirty {
+            // The dirty remote copy is folded into the L3 before our write.
+            let bank = self.bank_of(line);
+            if !self.l3_banks[bank].mark_dirty(line) {
+                self.stats.record_writeback(self.map.classify(line));
+            }
+        }
+        self.stats.invalidations += 1;
+        self.cfg.coherence_latency
+    }
+
+    /// Drops every cached line silently (no writebacks, no stats). Use only
+    /// between independent simulations sharing a `Machine`.
+    pub fn flush_all_silently(&mut self) {
+        for c in &mut self.l1 {
+            c.flush_silently();
+        }
+        for c in &mut self.l2 {
+            c.flush_silently();
+        }
+        for c in &mut self.l3_banks {
+            c.flush_silently();
+        }
+        self.directory.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(cores: usize) -> Machine {
+        let cfg = SystemConfig::scaled(cores);
+        let mut map = AddressMap::new(cfg.line_bytes);
+        map.add(Region::VertexValue, 8, 1 << 16);
+        map.add(Region::HyperedgeValue, 8, 1 << 16);
+        Machine::new(cfg, map)
+    }
+
+    #[test]
+    fn cold_miss_then_hits_up_the_hierarchy() {
+        let mut m = machine(2);
+        let r = m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        assert_eq!(r.level, Level::Mem);
+        assert!(r.latency >= 200, "DRAM latency must dominate: {}", r.latency);
+        let r = m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 10);
+        assert_eq!(r.level, Level::L1);
+        assert_eq!(r.latency, m.config().l1.latency);
+    }
+
+    #[test]
+    fn spatial_locality_within_a_line() {
+        let mut m = machine(1);
+        m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        // Elements 1..8 share the 64-B line (8-byte elements).
+        for i in 1..8 {
+            let r = m.access(0, Region::VertexValue, i, AccessKind::Read, Level::L1, 0);
+            assert_eq!(r.level, Level::L1, "element {i}");
+        }
+        let r = m.access(0, Region::VertexValue, 8, AccessKind::Read, Level::L1, 0);
+        assert_eq!(r.level, Level::Mem, "next line is cold");
+    }
+
+    #[test]
+    fn engine_entry_fills_l2_not_l1() {
+        let mut m = machine(1);
+        m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L2, 0);
+        // Engine prefetch warmed L2: the core's subsequent load misses L1
+        // but hits L2.
+        let r = m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        assert_eq!(r.level, Level::L2);
+    }
+
+    #[test]
+    fn other_core_read_hits_shared_l3() {
+        let mut m = machine(2);
+        m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        let r = m.access(1, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        assert_eq!(r.level, Level::L3, "second core finds the line in shared L3");
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharers() {
+        let mut m = machine(2);
+        m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        m.access(1, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        let w = m.access(1, Region::VertexValue, 0, AccessKind::Write, Level::L1, 0);
+        assert!(w.latency >= m.config().coherence_latency);
+        assert_eq!(m.stats().invalidations, 1);
+        // Core 0 lost its copy: next read must go past L2.
+        let r = m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        assert!(r.level >= Level::L3, "invalidated copy cannot hit privately: {:?}", r.level);
+    }
+
+    #[test]
+    fn dirty_data_survives_remote_invalidation() {
+        let mut m = machine(2);
+        m.access(0, Region::VertexValue, 0, AccessKind::Write, Level::L1, 0);
+        // Core 1 writes the same line: core 0's dirty copy is folded into L3.
+        m.access(1, Region::VertexValue, 0, AccessKind::Write, Level::L1, 0);
+        let r = m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        assert_eq!(r.level, Level::L3, "data must still be on-chip");
+    }
+
+    #[test]
+    fn main_memory_access_counting() {
+        let mut m = machine(1);
+        let n_lines = 64u64;
+        for i in 0..n_lines {
+            m.access(0, Region::VertexValue, i * 8, AccessKind::Read, Level::L1, 0);
+        }
+        assert_eq!(m.stats().main_memory_accesses(), n_lines);
+        assert_eq!(m.stats().dram_fetches(Region::VertexValue), n_lines);
+    }
+
+    #[test]
+    fn capacity_eviction_causes_re_miss() {
+        let mut m = machine(1);
+        // Touch far more lines than the whole hierarchy holds.
+        let lines = (m.config().l3.size_bytes / 64 * 4) as u64;
+        for i in 0..lines {
+            m.access(0, Region::VertexValue, (i * 8) % (1 << 16), AccessKind::Read, Level::L1, 0);
+        }
+        let r = m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        // Line 0 was evicted long ago.
+        assert_eq!(r.level, Level::Mem);
+    }
+
+    #[test]
+    fn dirty_eviction_reaches_dram_as_writeback() {
+        let mut m = machine(1);
+        let span = (m.config().l3.size_bytes / 64 * 4) as u64;
+        for i in 0..span.min(1 << 13) {
+            m.access(0, Region::VertexValue, i * 8, AccessKind::Write, Level::L1, 0);
+        }
+        assert!(
+            m.stats().dram_writebacks(Region::VertexValue) > 0,
+            "capacity-evicted dirty lines must be written back"
+        );
+    }
+
+    #[test]
+    fn flush_clears_state() {
+        let mut m = machine(1);
+        m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        m.flush_all_silently();
+        let r = m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+        assert_eq!(r.level, Level::Mem);
+    }
+
+    #[test]
+    #[should_panic(expected = "core 5 out of range")]
+    fn bad_core_panics() {
+        let mut m = machine(2);
+        m.access(5, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Mesh network-on-chip latency model.
+//!
+//! Table I: a 4×4 mesh with 128-bit links, X-Y routing, 1-cycle pipelined
+//! routers and 1-cycle links. Cores and L3 banks are co-located at mesh
+//! nodes; the model charges the X-Y hop distance for the request and the
+//! response of each L3/memory transaction.
+
+use crate::NocConfig;
+
+/// Latency model of an X-Y-routed 2-D mesh.
+#[derive(Clone, Copy, Debug)]
+pub struct MeshNoc {
+    cfg: NocConfig,
+}
+
+impl MeshNoc {
+    /// Creates the model.
+    pub fn new(cfg: NocConfig) -> Self {
+        MeshNoc { cfg }
+    }
+
+    /// Mesh coordinates of node `n` (row-major placement).
+    #[inline]
+    pub fn coords(&self, n: usize) -> (usize, usize) {
+        (n % self.cfg.width, n / self.cfg.width)
+    }
+
+    /// Number of hops between nodes `a` and `b` under X-Y routing
+    /// (Manhattan distance).
+    pub fn hops(&self, a: usize, b: usize) -> u64 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// One-way traversal latency from node `a` to node `b`: each hop costs a
+    /// router traversal plus a link traversal, and the final router ejects.
+    pub fn one_way(&self, a: usize, b: usize) -> u64 {
+        let hops = self.hops(a, b);
+        if hops == 0 {
+            0
+        } else {
+            hops * (self.cfg.router_latency + self.cfg.link_latency) + self.cfg.router_latency
+        }
+    }
+
+    /// Request + response latency between a core and an L3 bank.
+    pub fn round_trip(&self, core: usize, bank: usize) -> u64 {
+        2 * self.one_way(core, bank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh4x4() -> MeshNoc {
+        MeshNoc::new(NocConfig { width: 4, height: 4, router_latency: 1, link_latency: 1 })
+    }
+
+    #[test]
+    fn coords_row_major() {
+        let m = mesh4x4();
+        assert_eq!(m.coords(0), (0, 0));
+        assert_eq!(m.coords(3), (3, 0));
+        assert_eq!(m.coords(4), (0, 1));
+        assert_eq!(m.coords(15), (3, 3));
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let m = mesh4x4();
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 3), 3);
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(m.hops(5, 10), 2);
+        assert_eq!(m.hops(10, 5), 2, "symmetric");
+    }
+
+    #[test]
+    fn latency_scales_with_distance() {
+        let m = mesh4x4();
+        assert_eq!(m.one_way(0, 0), 0);
+        assert_eq!(m.one_way(0, 1), 3); // 1 hop: router+link + eject router
+        assert_eq!(m.one_way(0, 15), 13); // 6 hops
+        assert_eq!(m.round_trip(0, 15), 26);
+    }
+
+    #[test]
+    fn local_bank_is_free() {
+        let m = mesh4x4();
+        assert_eq!(m.round_trip(7, 7), 0);
+    }
+}

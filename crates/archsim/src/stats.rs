@@ -1,0 +1,173 @@
+//! Access accounting.
+
+use crate::{Level, Region, RegionGroup};
+use serde::{Deserialize, Serialize};
+
+const NUM_REGIONS: usize = Region::ALL.len();
+
+/// Per-region, per-level access counters for one simulation.
+///
+/// The paper's headline metric, **off-chip main memory accesses**, is the
+/// number of line transfers that reach DRAM: demand fetches satisfied at the
+/// [`Level::Mem`] level plus dirty writebacks
+/// ([`MemStats::main_memory_accesses`]).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MemStats {
+    /// `served[region][level]`: accesses to `region` satisfied at `level`.
+    served: Vec<[u64; 4]>,
+    /// Dirty line writebacks to DRAM, per region.
+    writebacks: Vec<u64>,
+    /// Remote-sharer invalidations triggered by writes.
+    pub invalidations: u64,
+}
+
+impl MemStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        MemStats { served: vec![[0; 4]; NUM_REGIONS], writebacks: vec![0; NUM_REGIONS], invalidations: 0 }
+    }
+
+    pub(crate) fn record(&mut self, region: Region, level: Level) {
+        self.served[region.idx()][level as usize] += 1;
+    }
+
+    pub(crate) fn record_writeback(&mut self, region: Region) {
+        self.writebacks[region.idx()] += 1;
+    }
+
+    /// Accesses to `region` satisfied at `level`.
+    pub fn served_at(&self, region: Region, level: Level) -> u64 {
+        self.served[region.idx()][level as usize]
+    }
+
+    /// Total accesses issued to `region` at any level.
+    pub fn total_accesses(&self, region: Region) -> u64 {
+        self.served[region.idx()].iter().sum()
+    }
+
+    /// DRAM demand fetches for `region`.
+    pub fn dram_fetches(&self, region: Region) -> u64 {
+        self.served_at(region, Level::Mem)
+    }
+
+    /// DRAM writebacks for `region`.
+    pub fn dram_writebacks(&self, region: Region) -> u64 {
+        self.writebacks[region.idx()]
+    }
+
+    /// Off-chip main-memory accesses for `region` (fetches + writebacks).
+    pub fn main_memory_accesses_of(&self, region: Region) -> u64 {
+        self.dram_fetches(region) + self.dram_writebacks(region)
+    }
+
+    /// Off-chip main-memory accesses for a Fig. 15 presentation group.
+    pub fn main_memory_accesses_of_group(&self, group: RegionGroup) -> u64 {
+        Region::ALL
+            .iter()
+            .filter(|r| r.group() == group)
+            .map(|&r| self.main_memory_accesses_of(r))
+            .sum()
+    }
+
+    /// Total off-chip main-memory accesses — the paper's headline metric.
+    pub fn main_memory_accesses(&self) -> u64 {
+        Region::ALL.iter().map(|&r| self.main_memory_accesses_of(r)).sum()
+    }
+
+    /// Total accesses across all regions and levels.
+    pub fn all_accesses(&self) -> u64 {
+        Region::ALL.iter().map(|&r| self.total_accesses(r)).sum()
+    }
+
+    /// Hit rate at L1 over all regions (diagnostics).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.all_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        let l1: u64 = Region::ALL.iter().map(|&r| self.served_at(r, Level::L1)).sum();
+        l1 as f64 / total as f64
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &MemStats) {
+        for r in 0..NUM_REGIONS {
+            for l in 0..4 {
+                self.served[r][l] += other.served[r][l];
+            }
+            self.writebacks[r] += other.writebacks[r];
+        }
+        self.invalidations += other.invalidations;
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        for r in 0..NUM_REGIONS {
+            self.served[r] = [0; 4];
+            self.writebacks[r] = 0;
+        }
+        self.invalidations = 0;
+    }
+}
+
+impl Default for MemStats {
+    fn default() -> Self {
+        MemStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = MemStats::new();
+        s.record(Region::VertexValue, Level::L1);
+        s.record(Region::VertexValue, Level::Mem);
+        s.record_writeback(Region::VertexValue);
+        assert_eq!(s.served_at(Region::VertexValue, Level::L1), 1);
+        assert_eq!(s.dram_fetches(Region::VertexValue), 1);
+        assert_eq!(s.dram_writebacks(Region::VertexValue), 1);
+        assert_eq!(s.main_memory_accesses_of(Region::VertexValue), 2);
+        assert_eq!(s.main_memory_accesses(), 2);
+        assert_eq!(s.total_accesses(Region::VertexValue), 2);
+    }
+
+    #[test]
+    fn group_rollup() {
+        let mut s = MemStats::new();
+        s.record(Region::VertexValue, Level::Mem);
+        s.record(Region::HyperedgeValue, Level::Mem);
+        s.record(Region::HOagEdge, Level::Mem);
+        assert_eq!(s.main_memory_accesses_of_group(RegionGroup::Values), 2);
+        assert_eq!(s.main_memory_accesses_of_group(RegionGroup::Oag), 1);
+        assert_eq!(s.main_memory_accesses_of_group(RegionGroup::Offsets), 0);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = MemStats::new();
+        let mut b = MemStats::new();
+        a.record(Region::Bitmap, Level::L2);
+        b.record(Region::Bitmap, Level::L2);
+        b.invalidations = 3;
+        a.merge(&b);
+        assert_eq!(a.served_at(Region::Bitmap, Level::L2), 2);
+        assert_eq!(a.invalidations, 3);
+        a.reset();
+        assert_eq!(a.all_accesses(), 0);
+        assert_eq!(a.invalidations, 0);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut s = MemStats::new();
+        assert_eq!(s.l1_hit_rate(), 0.0);
+        s.record(Region::VertexValue, Level::L1);
+        s.record(Region::VertexValue, Level::L1);
+        s.record(Region::VertexValue, Level::Mem);
+        s.record(Region::VertexValue, Level::L3);
+        assert!((s.l1_hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

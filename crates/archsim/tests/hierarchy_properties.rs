@@ -1,0 +1,139 @@
+//! Cross-component invariants of the simulated memory hierarchy.
+
+use archsim::{AccessKind, AddressMap, Level, Machine, Region, SystemConfig};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn machine_with(cfg: SystemConfig) -> Machine {
+    let mut map = AddressMap::new(cfg.line_bytes);
+    map.add(Region::VertexValue, 8, 1 << 14);
+    map.add(Region::HyperedgeValue, 8, 1 << 14);
+    Machine::new(cfg, map)
+}
+
+/// A deterministic pseudo-random access trace.
+fn trace(seed: u64, n: usize, cores: usize) -> Vec<(usize, Region, u64, AccessKind)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let core = rng.gen_range(0..cores);
+            let region =
+                if rng.gen_bool(0.5) { Region::VertexValue } else { Region::HyperedgeValue };
+            let idx = rng.gen_range(0..1u64 << 14);
+            let kind = if rng.gen_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
+            (core, region, idx, kind)
+        })
+        .collect()
+}
+
+fn run_trace(mut m: Machine, trace: &[(usize, Region, u64, AccessKind)]) -> Machine {
+    for (i, &(core, region, idx, kind)) in trace.iter().enumerate() {
+        m.access(core, region, idx, kind, Level::L1, i as u64);
+    }
+    m
+}
+
+#[test]
+fn miss_counts_do_not_depend_on_latency_parameters() {
+    let t = trace(1, 20_000, 4);
+    let base = run_trace(machine_with(SystemConfig::scaled(4)), &t);
+    let mut slow_cfg = SystemConfig::scaled(4);
+    slow_cfg.l1.latency = 9;
+    slow_cfg.l3.latency = 99;
+    slow_cfg.dram.base_latency = 999;
+    slow_cfg.noc.router_latency = 5;
+    let slow = run_trace(machine_with(slow_cfg), &t);
+    assert_eq!(
+        base.stats().main_memory_accesses(),
+        slow.stats().main_memory_accesses(),
+        "latency knobs must not change hit/miss behaviour"
+    );
+    assert_eq!(base.stats().all_accesses(), slow.stats().all_accesses());
+}
+
+#[test]
+fn inclusive_hierarchy_never_beats_non_inclusive_on_private_hits() {
+    let t = trace(2, 30_000, 8);
+    let mut incl = SystemConfig::scaled(8);
+    incl.l3_inclusive = true;
+    let mut nincl = incl;
+    nincl.l3_inclusive = false;
+    let a = run_trace(machine_with(incl), &t);
+    let b = run_trace(machine_with(nincl), &t);
+    let private_hits = |m: &Machine| {
+        Region::ALL
+            .iter()
+            .map(|&r| m.stats().served_at(r, Level::L1) + m.stats().served_at(r, Level::L2))
+            .sum::<u64>()
+    };
+    assert!(
+        private_hits(&a) <= private_hits(&b),
+        "back-invalidation can only remove private hits ({} vs {})",
+        private_hits(&a),
+        private_hits(&b)
+    );
+}
+
+#[test]
+fn engine_entry_skips_l1_but_counts_identically_at_dram() {
+    let mut core = machine_with(SystemConfig::scaled(1));
+    let mut engine = machine_with(SystemConfig::scaled(1));
+    for i in 0..10_000u64 {
+        let idx = (i * 2654435761) % (1 << 14);
+        core.access(0, Region::VertexValue, idx, AccessKind::Read, Level::L1, i);
+        engine.access(0, Region::VertexValue, idx, AccessKind::Read, Level::L2, i);
+    }
+    assert_eq!(
+        core.stats().dram_fetches(Region::VertexValue),
+        engine.stats().dram_fetches(Region::VertexValue),
+        "entry level must not change which lines miss to DRAM"
+    );
+    assert_eq!(engine.stats().served_at(Region::VertexValue, Level::L1), 0);
+}
+
+#[test]
+fn write_by_one_core_denies_private_hit_to_another() {
+    let mut m = machine_with(SystemConfig::scaled(2));
+    m.access(0, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+    m.access(1, Region::VertexValue, 0, AccessKind::Read, Level::L1, 1);
+    // Both private caches now hold the line; core 0 writes it.
+    m.access(0, Region::VertexValue, 0, AccessKind::Write, Level::L1, 2);
+    let r = m.access(1, Region::VertexValue, 0, AccessKind::Read, Level::L1, 3);
+    assert!(r.level >= Level::L3, "stale private copy must have been invalidated: {:?}", r.level);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// DRAM fetches are bounded below by the number of distinct lines and
+    /// above by the number of accesses.
+    #[test]
+    fn dram_fetches_are_sane(seed in 0u64..500, n in 100usize..3_000) {
+        let t = trace(seed, n, 4);
+        let m = run_trace(machine_with(SystemConfig::scaled(4)), &t);
+        let distinct_lines: std::collections::HashSet<(Region, u64)> =
+            t.iter().map(|&(_, r, i, _)| (r, i / 8)).collect();
+        let fetches: u64 = Region::ALL
+            .iter()
+            .map(|&r| m.stats().dram_fetches(r))
+            .sum();
+        prop_assert!(fetches >= distinct_lines.len() as u64, "every distinct line cold-misses once");
+        prop_assert!(fetches <= n as u64);
+        prop_assert_eq!(m.stats().all_accesses(), n as u64);
+    }
+
+    /// Replaying the same trace twice on one machine can only raise hit
+    /// levels (warm caches), never DRAM traffic per access.
+    #[test]
+    fn warm_replay_never_misses_more(seed in 0u64..200) {
+        let t = trace(seed, 2_000, 2);
+        let cold = run_trace(machine_with(SystemConfig::scaled(2)), &t);
+        let cold_fetches: u64 =
+            Region::ALL.iter().map(|&r| cold.stats().dram_fetches(r)).sum();
+        let warm = run_trace(cold, &t); // second pass on the warmed machine
+        let total_fetches: u64 =
+            Region::ALL.iter().map(|&r| warm.stats().dram_fetches(r)).sum();
+        prop_assert!(total_fetches <= cold_fetches * 2);
+    }
+}

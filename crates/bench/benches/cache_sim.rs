@@ -1,0 +1,52 @@
+//! Microbenchmark: simulator throughput — accesses per second through the
+//! full cache hierarchy (the cost of every experiment in this repository).
+
+use archsim::{AccessKind, AddressMap, Level, Machine, Region, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn machine(cores: usize) -> Machine {
+    let cfg = SystemConfig::scaled(cores);
+    let mut map = AddressMap::new(cfg.line_bytes);
+    map.add(Region::VertexValue, 8, 1 << 18);
+    Machine::new(cfg, map)
+}
+
+fn bench_access_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sim");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    const N: u64 = 100_000;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("sequential_reads_1core", |b| {
+        let mut m = machine(1);
+        b.iter(|| {
+            for i in 0..N {
+                m.access(0, Region::VertexValue, i % (1 << 18), AccessKind::Read, Level::L1, i);
+            }
+        })
+    });
+    group.bench_function("strided_writes_16core", |b| {
+        let mut m = machine(16);
+        b.iter(|| {
+            for i in 0..N {
+                let core = (i % 16) as usize;
+                let idx = (i * 7919) % (1 << 18);
+                m.access(core, Region::VertexValue, idx, AccessKind::Write, Level::L1, i);
+            }
+        })
+    });
+    group.bench_function("engine_entry_reads", |b| {
+        let mut m = machine(4);
+        b.iter(|| {
+            for i in 0..N {
+                let idx = (i * 31) % (1 << 18);
+                m.access(0, Region::VertexValue, idx, AccessKind::Read, Level::L2, i);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_access_streams);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Microbenchmark: chain generation (Algorithm 3) — the operation the HCG
+//! turns into hardware.
+
+use chg_bench::{load_scaled, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypergraph::chunk::partition;
+use hypergraph::datasets::Dataset;
+use hypergraph::{Frontier, Side};
+use oag::{generate_chains, ChainConfig, OagConfig};
+
+fn bench_chain_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_gen");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let g = load_scaled(Dataset::WebTrackers, Scale(0.5));
+    let oag = OagConfig::new().build(&g, Side::Hyperedge);
+    let n = g.num_hyperedges();
+    let full = Frontier::full(n);
+    let sparse = Frontier::from_iter(n, (0..n as u32).filter(|h| h % 13 == 0));
+    for (name, frontier) in [("all_active", &full), ("sparse", &sparse)] {
+        for d_max in [4usize, 16, 64] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("dmax_{d_max}")),
+                &d_max,
+                |b, &d_max| {
+                    b.iter(|| {
+                        generate_chains(&oag, frontier, 0..n as u32, &ChainConfig::new(d_max))
+                    })
+                },
+            );
+        }
+    }
+    // Per-chunk generation (the per-core work of one phase).
+    let chunks = partition(&g, Side::Hyperedge, 16);
+    group.bench_function("chunked_16", |b| {
+        b.iter(|| {
+            chunks
+                .iter()
+                .map(|c| {
+                    generate_chains(&oag, &full, c.first..c.last, &ChainConfig::default())
+                        .num_elements()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_gen);
+criterion_main!(benches);

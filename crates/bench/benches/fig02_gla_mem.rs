@@ -1,0 +1,25 @@
+//! Bench harness for Fig. 2: wall time of the simulations behind the
+//! GLA-vs-Hygra memory comparison (PR on the WEB stand-in, reduced scale).
+
+use chg_bench::figures::{fig2, Harness};
+use chg_bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig02_gla_mem");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("pr_web_hygra_vs_gla", |b| {
+        b.iter(|| {
+            let h = Harness::new(Scale(0.15));
+            let f = fig2(&h);
+            assert!(f.hygra_accesses > 0);
+            f.reduction
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench harness for Fig. 14: per-system simulation cost of one
+//! representative cell (PR on LJ, reduced scale).
+
+use chg_bench::figures::{Harness, System};
+use chg_bench::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperalgos::Workload;
+use hypergraph::datasets::Dataset;
+
+fn bench_fig14_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_performance");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for sys in [System::Hygra, System::Gla, System::ChGraph] {
+        group.bench_with_input(BenchmarkId::new("pr_lj", sys.label()), &sys, |b, &sys| {
+            b.iter(|| {
+                let h = Harness::new(Scale(0.15));
+                let r = h.report(Dataset::LiveJournal, Workload::Pr, sys);
+                r.cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14_cell);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench harness for Fig. 16: the HCG/CP ablation on one cell.
+
+use chg_bench::figures::{Harness, System};
+use chg_bench::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperalgos::Workload;
+use hypergraph::datasets::Dataset;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for sys in [System::Gla, System::HcgOnly, System::ChGraph] {
+        group.bench_with_input(BenchmarkId::new("cc_web", sys.label()), &sys, |b, &sys| {
+            b.iter(|| {
+                let h = Harness::new(Scale(0.15));
+                h.report(Dataset::WebTrackers, Workload::Cc, sys).cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench harness for Fig. 17: ChGraph PR across the D_max sweep.
+
+use chg_bench::figures::{Harness, System};
+use chg_bench::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperalgos::Workload;
+use hypergraph::datasets::Dataset;
+use oag::ChainConfig;
+
+fn bench_dmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_dmax");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for d_max in [2usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(d_max), &d_max, |b, &d_max| {
+            b.iter(|| {
+                let h = Harness::new(Scale(0.15));
+                let cfg = h.cfg.with_chain(ChainConfig::new(d_max));
+                h.run_with(Dataset::LiveJournal, Workload::Pr, System::ChGraph, &cfg).cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dmax);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Microbenchmark: OAG construction (the preprocessing the paper amortizes,
+//! SIV-A / Fig. 21).
+
+use chg_bench::{load_scaled, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypergraph::datasets::Dataset;
+use hypergraph::Side;
+use oag::OagConfig;
+
+fn bench_oag_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oag_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for ds in [Dataset::LiveJournal, Dataset::WebTrackers] {
+        let g = load_scaled(ds, Scale(0.5));
+        group.bench_with_input(BenchmarkId::new("hyperedge_side", ds.abbrev()), &g, |b, g| {
+            b.iter(|| OagConfig::new().build(g, Side::Hyperedge))
+        });
+        group.bench_with_input(BenchmarkId::new("vertex_side", ds.abbrev()), &g, |b, g| {
+            b.iter(|| OagConfig::new().build(g, Side::Vertex))
+        });
+        for w_min in [1u32, 3, 7] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("wmin_{w_min}"), ds.abbrev()),
+                &g,
+                |b, g| b.iter(|| OagConfig::new().with_w_min(w_min).build(g, Side::Hyperedge)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oag_build);
+criterion_main!(benches);

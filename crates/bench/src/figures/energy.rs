@@ -1,0 +1,103 @@
+//! Energy comparison (extension artifact).
+//!
+//! The paper's §VI-A describes the energy methodology (McPAT for chip
+//! components, Micron datasheets for DRAM) but reports no energy figure;
+//! this extension completes the accounting: memory-system + core-static
+//! energy from [`archsim::EnergyModel`], plus the ChGraph engine's own
+//! power (the §VI-E 61 mW per core-engine) integrated over the run.
+
+use super::{fx, Harness, System};
+use crate::Table;
+use archsim::EnergyModel;
+use chgraph::engine::EngineCostModel;
+use chgraph::ExecutionReport;
+use hyperalgos::Workload;
+use hypergraph::datasets::Dataset;
+use std::fmt;
+
+/// Energy of one execution, in millijoules (model units).
+fn energy_mj(r: &ExecutionReport, cores: usize, with_engine: bool) -> f64 {
+    let base = EnergyModel::default_65nm().estimate(&r.mem, r.cycles, cores);
+    let mut total = base.total_mj();
+    if with_engine {
+        // 61 mW per engine x cores, over `cycles` at the paper's 1 GHz
+        // engine clock: mW * ns = pJ.
+        let engine_pj = EngineCostModel::paper().power_mw * cores as f64 * r.cycles as f64;
+        total += engine_pj / 1e9;
+    }
+    total
+}
+
+/// The energy-comparison artifact: PageRank across the five datasets.
+#[derive(Debug)]
+pub struct EnergyFigure {
+    /// Rendered table.
+    pub table: Table,
+    /// `(dataset, hygra_mj, chgraph_mj)` rows.
+    pub rows: Vec<(Dataset, f64, f64)>,
+}
+
+/// Regenerates the energy artifact.
+pub fn energy(h: &Harness) -> EnergyFigure {
+    let cores = h.cfg.system.num_cores;
+    let mut table =
+        Table::new(&["dataset", "Hygra (mJ)", "ChGraph (mJ)", "energy ratio", "dram share"]);
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let hygra = h.report(ds, Workload::Pr, System::Hygra);
+        let chg = h.report(ds, Workload::Pr, System::ChGraph);
+        let e_h = energy_mj(&hygra, cores, false);
+        let e_c = energy_mj(&chg, cores, true);
+        let dram_share = {
+            let m = EnergyModel::default_65nm();
+            let dynamic = m.estimate(&chg.mem, 0, cores);
+            dynamic.dram_line_transfers as f64 * m.dram_pj / 1e9 / e_c
+        };
+        rows.push((ds, e_h, e_c));
+        table.row(&[
+            ds.abbrev().into(),
+            format!("{e_h:.2}"),
+            format!("{e_c:.2}"),
+            fx(e_h / e_c),
+            super::pct(dram_share),
+        ]);
+    }
+    EnergyFigure { table, rows }
+}
+
+impl EnergyFigure {
+    /// Mean energy-efficiency gain of ChGraph over Hygra.
+    pub fn mean_ratio(&self) -> f64 {
+        self.rows.iter().map(|r| r.1 / r.2).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+impl fmt::Display for EnergyFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Energy (extension): PR energy incl. the engine's 61 mW/core (no paper counterpart)"
+        )?;
+        write!(f, "{}", self.table)?;
+        writeln!(f, "mean energy ratio: {}", fx(self.mean_ratio()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn chgraph_saves_energy_through_cycles_and_dram() {
+        let h = Harness::new(Scale(0.1));
+        let e = energy(&h);
+        assert_eq!(e.rows.len(), 5);
+        for &(ds, eh, ec) in &e.rows {
+            assert!(eh > 0.0 && ec > 0.0, "{ds}");
+        }
+        // Shorter runs plus the tiny engine adder must net out to savings on
+        // at least most datasets.
+        assert!(e.mean_ratio() > 1.0, "mean energy ratio {:.2}", e.mean_ratio());
+    }
+}

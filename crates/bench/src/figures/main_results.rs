@@ -1,0 +1,264 @@
+//! Main results: Figs. 14 (performance), 15 (memory-access breakdown),
+//! 16 (HCG/CP ablation), and 22 (total time including preprocessing).
+
+use super::{fx, Harness, System};
+use crate::Table;
+use archsim::RegionGroup;
+use hyperalgos::Workload;
+use hypergraph::datasets::Dataset;
+use std::fmt;
+
+/// Fig. 14: performance of GLA and ChGraph normalized to Hygra, per
+/// workload and dataset.
+#[derive(Debug)]
+pub struct Fig14 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(workload, dataset, gla_speedup, chgraph_speedup)` cells.
+    pub cells: Vec<(Workload, Dataset, f64, f64)>,
+}
+
+/// Regenerates Fig. 14.
+pub fn fig14(h: &Harness) -> Fig14 {
+    let mut table =
+        Table::new(&["workload", "dataset", "Hygra cyc", "GLA", "ChGraph", "paper ChGraph"]);
+    let mut cells = Vec::new();
+    for w in Workload::HYPERGRAPH {
+        for ds in Dataset::ALL {
+            let hygra = h.report(ds, w, System::Hygra);
+            let gla = h.report(ds, w, System::Gla);
+            let chg = h.report(ds, w, System::ChGraph);
+            let gs = gla.speedup_over(&hygra);
+            let cs = chg.speedup_over(&hygra);
+            cells.push((w, ds, gs, cs));
+            table.row(&[
+                w.abbrev().into(),
+                ds.abbrev().into(),
+                hygra.cycles.to_string(),
+                fx(gs),
+                fx(cs),
+                "3.39x-4.73x".into(),
+            ]);
+        }
+    }
+    Fig14 { table, cells }
+}
+
+impl Fig14 {
+    /// Mean ChGraph speedup over Hygra across all cells (paper: 4.12x).
+    pub fn mean_chgraph_speedup(&self) -> f64 {
+        self.cells.iter().map(|c| c.3).sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// Mean GLA speedup over Hygra (paper: 0.62x-0.88x, i.e. a slowdown).
+    pub fn mean_gla_speedup(&self) -> f64 {
+        self.cells.iter().map(|c| c.2).sum::<f64>() / self.cells.len() as f64
+    }
+}
+
+impl fmt::Display for Fig14 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 14: speedup over Hygra (paper: GLA slower, ChGraph 3.39x-4.73x)")?;
+        write!(f, "{}", self.table)?;
+        writeln!(
+            f,
+            "mean: GLA {}, ChGraph {}",
+            fx(self.mean_gla_speedup()),
+            fx(self.mean_chgraph_speedup())
+        )
+    }
+}
+
+/// Fig. 15: off-chip main-memory accesses by data-array group, Hygra vs
+/// ChGraph.
+#[derive(Debug)]
+pub struct Fig15 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(workload, dataset, reduction factor)` cells.
+    pub reductions: Vec<(Workload, Dataset, f64)>,
+}
+
+/// Regenerates Fig. 15.
+pub fn fig15(h: &Harness) -> Fig15 {
+    let mut table = Table::new(&[
+        "workload", "dataset", "system", "offsets", "incident", "values", "OAG", "other", "total",
+        "reduction",
+    ]);
+    let mut reductions = Vec::new();
+    for w in Workload::HYPERGRAPH {
+        for ds in Dataset::ALL {
+            let hygra = h.report(ds, w, System::Hygra);
+            let chg = h.report(ds, w, System::ChGraph);
+            let red = chg.mem_reduction_over(&hygra);
+            reductions.push((w, ds, red));
+            for (sys, r, red_str) in
+                [("H", &hygra, "1.00x".to_string()), ("C", &chg, fx(red))]
+            {
+                let mut row = vec![w.abbrev().into(), ds.abbrev().into(), sys.into()];
+                for grp in RegionGroup::ALL {
+                    row.push(r.mem.main_memory_accesses_of_group(grp).to_string());
+                }
+                row.push(r.mem.main_memory_accesses().to_string());
+                row.push(red_str);
+                table.row(&row);
+            }
+        }
+    }
+    Fig15 { table, reductions }
+}
+
+impl Fig15 {
+    /// Mean reduction factor (paper: 3.51x, range 2.77x-4.56x).
+    pub fn mean_reduction(&self) -> f64 {
+        self.reductions.iter().map(|c| c.2).sum::<f64>() / self.reductions.len() as f64
+    }
+}
+
+impl fmt::Display for Fig15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 15: main-memory accesses by array group (paper reduction: 2.77x-4.56x)"
+        )?;
+        write!(f, "{}", self.table)?;
+        writeln!(f, "mean reduction: {}", fx(self.mean_reduction()))
+    }
+}
+
+/// Fig. 16: ablation — software GLA, +HCG, +HCG+CP (full ChGraph).
+#[derive(Debug)]
+pub struct Fig16 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(workload, dataset, hcg_speedup_over_gla, full_speedup_over_gla)`.
+    pub cells: Vec<(Workload, Dataset, f64, f64)>,
+}
+
+/// Regenerates Fig. 16.
+pub fn fig16(h: &Harness) -> Fig16 {
+    let mut table =
+        Table::new(&["workload", "dataset", "GLA cyc", "+HCG", "+HCG+CP", "CP share"]);
+    let mut cells = Vec::new();
+    for w in Workload::HYPERGRAPH {
+        for ds in Dataset::ALL {
+            let gla = h.report(ds, w, System::Gla);
+            let hcg = h.report(ds, w, System::HcgOnly);
+            let full = h.report(ds, w, System::ChGraph);
+            let hs = hcg.speedup_over(&gla);
+            let fs_ = full.speedup_over(&gla);
+            let cp_share = if fs_ > 1.0 { (fs_ - hs).max(0.0) / (fs_ - 1.0) } else { 0.0 };
+            cells.push((w, ds, hs, fs_));
+            table.row(&[
+                w.abbrev().into(),
+                ds.abbrev().into(),
+                gla.cycles.to_string(),
+                fx(hs),
+                fx(fs_),
+                super::pct(cp_share),
+            ]);
+        }
+    }
+    Fig16 { table, cells }
+}
+
+impl Fig16 {
+    /// Mean speedup of HCG alone over software GLA (paper: 4.42x).
+    pub fn mean_hcg_speedup(&self) -> f64 {
+        self.cells.iter().map(|c| c.2).sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// Mean additional speedup of the CP over HCG-only (paper: 1.37x).
+    pub fn mean_cp_speedup(&self) -> f64 {
+        self.cells.iter().map(|c| c.3 / c.2).sum::<f64>() / self.cells.len() as f64
+    }
+}
+
+impl fmt::Display for Fig16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 16: ablation over software GLA (paper: HCG 4.42x, CP adds 1.37x)"
+        )?;
+        write!(f, "{}", self.table)?;
+        writeln!(
+            f,
+            "mean: HCG {}, CP adds {}",
+            fx(self.mean_hcg_speedup()),
+            fx(self.mean_cp_speedup())
+        )
+    }
+}
+
+/// Fig. 22: total running time (preprocessing included) of ChGraph vs
+/// Hygra.
+#[derive(Debug)]
+pub struct Fig22 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(workload, dataset, total speedup)` cells.
+    pub cells: Vec<(Workload, Dataset, f64)>,
+}
+
+/// Regenerates Fig. 22.
+pub fn fig22(h: &Harness) -> Fig22 {
+    let mut table = Table::new(&[
+        "workload", "dataset", "exec speedup", "total speedup (incl. preprocessing)",
+    ]);
+    let mut cells = Vec::new();
+    for w in Workload::HYPERGRAPH {
+        for ds in Dataset::ALL {
+            let hygra = h.report(ds, w, System::Hygra);
+            let chg = h.report(ds, w, System::ChGraph);
+            let total = chg.total_speedup_over(&hygra);
+            cells.push((w, ds, total));
+            table.row(&[
+                w.abbrev().into(),
+                ds.abbrev().into(),
+                fx(chg.speedup_over(&hygra)),
+                fx(total),
+            ]);
+        }
+    }
+    Fig22 { table, cells }
+}
+
+impl Fig22 {
+    /// Mean total speedup (paper: 2.20x-3.89x).
+    pub fn mean_total_speedup(&self) -> f64 {
+        self.cells.iter().map(|c| c.2).sum::<f64>() / self.cells.len() as f64
+    }
+}
+
+impl fmt::Display for Fig22 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 22: total running time incl. preprocessing (paper: 2.20x-3.89x)")?;
+        write!(f, "{}", self.table)?;
+        writeln!(f, "mean total speedup: {}", fx(self.mean_total_speedup()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use hyperalgos::Workload;
+
+    /// Tiny-scale smoke check that the composite figures share memoized
+    /// runs and produce plausible shapes.
+    #[test]
+    fn composite_figures_smoke() {
+        let h = Harness::new(Scale(0.05));
+        // Restrict to one workload/dataset pair by priming the memo.
+        let _ = h.report(Dataset::LiveJournal, Workload::Cc, System::Hygra);
+        let f14 = fig14(&h);
+        assert_eq!(f14.cells.len(), 30);
+        assert!(f14.mean_chgraph_speedup() > 0.0);
+        let f16 = fig16(&h);
+        assert_eq!(f16.cells.len(), 30);
+        let f22 = fig22(&h);
+        assert!(f22.mean_total_speedup() > 0.0);
+        let f15 = fig15(&h);
+        assert!(f15.mean_reduction() > 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Regeneration functions, one per table and figure of the paper.
+//!
+//! All functions take a [`Harness`], which owns the scale factor, the
+//! machine configuration and a memo of executed reports, so composite
+//! artifacts (Figs. 14, 15, 16, 22 share the same underlying runs) do not
+//! re-simulate.
+
+mod alternatives;
+mod chains;
+mod energy;
+mod main_results;
+mod motivation;
+mod preprocessing;
+mod sensitivity;
+mod statics;
+
+pub use alternatives::{fig23, fig24, fig25, Fig23, Fig24, Fig25};
+pub use chains::{chains, ChainsFigure};
+pub use energy::{energy, EnergyFigure};
+pub use main_results::{fig14, fig15, fig16, fig22, Fig14, Fig15, Fig16, Fig22};
+pub use motivation::{fig2, fig3, fig5, fig7, fig8, Fig2, Fig3, Fig5, Fig7, Fig8};
+pub use preprocessing::{fig21, Fig21};
+pub use sensitivity::{fig17, fig18, fig19, fig20, Fig17, Fig18, Fig19, Fig20};
+pub use statics::{area_table, table1, table2, AreaTable, Table1, Table2};
+
+use crate::{load_scaled, Scale};
+use chgraph::{
+    ChGraphRuntime, ExecutionReport, GlaRuntime, HatsVRuntime, HygraRuntime, PrefetcherRuntime,
+    RunConfig, Runtime,
+};
+use hyperalgos::{run_workload, Workload};
+use hypergraph::datasets::Dataset;
+use hypergraph::Hypergraph;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The systems compared across the evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum System {
+    /// Hygra (index-ordered baseline).
+    Hygra,
+    /// Pure-software GLA.
+    Gla,
+    /// Full ChGraph (HCG + CP).
+    ChGraph,
+    /// HCG-only ablation.
+    HcgOnly,
+    /// HATS-V.
+    HatsV,
+    /// Event-driven hardware prefetcher.
+    Prefetcher,
+}
+
+impl System {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Hygra => "Hygra",
+            System::Gla => "GLA",
+            System::ChGraph => "ChGraph",
+            System::HcgOnly => "HCG-only",
+            System::HatsV => "HATS-V",
+            System::Prefetcher => "Prefetcher",
+        }
+    }
+
+    fn runtime(self) -> Box<dyn Runtime> {
+        match self {
+            System::Hygra => Box::new(HygraRuntime),
+            System::Gla => Box::new(GlaRuntime),
+            System::ChGraph => Box::new(ChGraphRuntime::new()),
+            System::HcgOnly => Box::new(ChGraphRuntime::hcg_only()),
+            System::HatsV => Box::new(HatsVRuntime),
+            System::Prefetcher => Box::new(PrefetcherRuntime),
+        }
+    }
+}
+
+/// Execution context of the harness: scale, machine configuration, and a
+/// memo of `(dataset, workload, system)` reports.
+pub struct Harness {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Run configuration used for every memoized execution.
+    pub cfg: RunConfig,
+    graphs: RefCell<HashMap<Dataset, Rc<Hypergraph>>>,
+    reports: RefCell<HashMap<(Dataset, Workload, System), Rc<ExecutionReport>>>,
+}
+
+impl Harness {
+    /// Creates a harness at the given scale with the default 16-core scaled
+    /// machine. For sub-unity scales the cache capacities are shrunk by the
+    /// same factor (to the nearest viable power of two), keeping the
+    /// working-set:cache ratio — the property every result depends on — in
+    /// the full-scale regime.
+    pub fn new(scale: Scale) -> Self {
+        let mut cfg = RunConfig::new();
+        if scale.factor() < 1.0 {
+            let shrink = |bytes: usize, f: f64, min: usize| {
+                let target = (bytes as f64 * f) as usize;
+                target.next_power_of_two().max(min)
+            };
+            // Private caches shrink faster than the LLC: the generator's
+            // discovery regions scale with |V|, and index-order defeat
+            // requires the region footprint to exceed the private caches.
+            cfg.system.l1.size_bytes =
+                shrink(cfg.system.l1.size_bytes, scale.factor() / 2.0, 1 << 10);
+            cfg.system.l2.size_bytes =
+                shrink(cfg.system.l2.size_bytes, scale.factor() / 2.0, 2 << 10);
+            cfg.system.l3.size_bytes = shrink(cfg.system.l3.size_bytes, scale.factor(), 16 << 10);
+        }
+        Harness::with_config(scale, cfg)
+    }
+
+    /// Creates a harness with an explicit configuration.
+    pub fn with_config(scale: Scale, cfg: RunConfig) -> Self {
+        Harness {
+            scale,
+            cfg,
+            graphs: RefCell::new(HashMap::new()),
+            reports: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The (cached) scaled stand-in hypergraph for `ds`.
+    pub fn graph(&self, ds: Dataset) -> Rc<Hypergraph> {
+        self.graphs
+            .borrow_mut()
+            .entry(ds)
+            .or_insert_with(|| Rc::new(load_scaled(ds, self.scale)))
+            .clone()
+    }
+
+    /// The (memoized) execution report of `workload` on `ds` under `sys`.
+    pub fn report(&self, ds: Dataset, workload: Workload, sys: System) -> Rc<ExecutionReport> {
+        if let Some(r) = self.reports.borrow().get(&(ds, workload, sys)) {
+            return r.clone();
+        }
+        let g = self.graph(ds);
+        let runtime = sys.runtime();
+        let report = Rc::new(run_workload(workload, runtime.as_ref(), &g, &self.cfg));
+        self.reports.borrow_mut().insert((ds, workload, sys), report.clone());
+        report
+    }
+
+    /// Runs `workload` on `ds` under `sys` with an explicit non-memoized
+    /// configuration (sensitivity sweeps).
+    pub fn run_with(
+        &self,
+        ds: Dataset,
+        workload: Workload,
+        sys: System,
+        cfg: &RunConfig,
+    ) -> ExecutionReport {
+        let g = self.graph(ds);
+        run_workload(workload, sys.runtime().as_ref(), &g, cfg)
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub(crate) fn fx(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub(crate) fn pct(r: f64) -> String {
+    format!("{:.1}%", r * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_memoizes_reports() {
+        let h = Harness::new(Scale(0.05));
+        let a = h.report(Dataset::LiveJournal, Workload::Cc, System::Hygra);
+        let b = h.report(Dataset::LiveJournal, Workload::Cc, System::Hygra);
+        assert!(Rc::ptr_eq(&a, &b), "second lookup must hit the memo");
+    }
+
+    #[test]
+    fn graphs_are_cached() {
+        let h = Harness::new(Scale(0.05));
+        let a = h.graph(Dataset::Friendster);
+        let b = h.graph(Dataset::Friendster);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn system_labels() {
+        assert_eq!(System::ChGraph.label(), "ChGraph");
+        assert_eq!(System::HatsV.label(), "HATS-V");
+    }
+}

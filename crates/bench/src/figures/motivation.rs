@@ -1,0 +1,218 @@
+//! Motivation artifacts: Figs. 2, 3, 5, 7 and 8.
+
+use super::{fx, pct, Harness, System};
+use crate::Table;
+use hyperalgos::Workload;
+use hypergraph::datasets::Dataset;
+use hypergraph::stats::sharable_curve;
+use hypergraph::Side;
+use std::fmt;
+
+/// Fig. 2: main-memory accesses of GLA vs Hygra, PageRank on Web-trackers.
+#[derive(Debug)]
+pub struct Fig2 {
+    /// Hygra's off-chip accesses.
+    pub hygra_accesses: u64,
+    /// Software GLA's off-chip accesses.
+    pub gla_accesses: u64,
+    /// Reduction factor (paper: 4.09x).
+    pub reduction: f64,
+}
+
+/// Regenerates Fig. 2.
+pub fn fig2(h: &Harness) -> Fig2 {
+    let hygra = h.report(Dataset::WebTrackers, Workload::Pr, System::Hygra);
+    let gla = h.report(Dataset::WebTrackers, Workload::Pr, System::Gla);
+    Fig2 {
+        hygra_accesses: hygra.mem.main_memory_accesses(),
+        gla_accesses: gla.mem.main_memory_accesses(),
+        reduction: gla.mem_reduction_over(&hygra),
+    }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 2: GLA vs Hygra main-memory accesses (PR on WEB)")?;
+        writeln!(f, "  Hygra: {} line transfers", self.hygra_accesses)?;
+        writeln!(f, "  GLA:   {} line transfers", self.gla_accesses)?;
+        writeln!(f, "  reduction: {} (paper: 4.09x)", fx(self.reduction))
+    }
+}
+
+/// Fig. 3: execution time of GLA and ChGraph vs Hygra, PR on Web-trackers.
+#[derive(Debug)]
+pub struct Fig3 {
+    /// Hygra cycles.
+    pub hygra_cycles: u64,
+    /// Software GLA cycles.
+    pub gla_cycles: u64,
+    /// ChGraph cycles.
+    pub chgraph_cycles: u64,
+    /// GLA speedup over Hygra (paper: 1 / 1.14 = 0.88x).
+    pub gla_speedup: f64,
+    /// ChGraph speedup over Hygra (paper: 4.39x).
+    pub chgraph_speedup: f64,
+}
+
+/// Regenerates Fig. 3.
+pub fn fig3(h: &Harness) -> Fig3 {
+    let hygra = h.report(Dataset::WebTrackers, Workload::Pr, System::Hygra);
+    let gla = h.report(Dataset::WebTrackers, Workload::Pr, System::Gla);
+    let chg = h.report(Dataset::WebTrackers, Workload::Pr, System::ChGraph);
+    Fig3 {
+        hygra_cycles: hygra.cycles,
+        gla_cycles: gla.cycles,
+        chgraph_cycles: chg.cycles,
+        gla_speedup: gla.speedup_over(&hygra),
+        chgraph_speedup: chg.speedup_over(&hygra),
+    }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 3: runtime of GLA / ChGraph vs Hygra (PR on WEB)")?;
+        writeln!(f, "  Hygra:   {} cycles (1.00x)", self.hygra_cycles)?;
+        writeln!(f, "  GLA:     {} cycles ({})", self.gla_cycles, fx(self.gla_speedup))?;
+        writeln!(
+            f,
+            "  ChGraph: {} cycles ({}, paper: 4.39x)",
+            self.chgraph_cycles,
+            fx(self.chgraph_speedup)
+        )
+    }
+}
+
+/// Fig. 5: fraction of execution time stalled on main memory under Hygra.
+#[derive(Debug)]
+pub struct Fig5 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(workload, dataset, stall fraction)` cells.
+    pub cells: Vec<(Workload, Dataset, f64)>,
+}
+
+/// Regenerates Fig. 5 (BFS, PR, BC, CC across the five datasets).
+pub fn fig5(h: &Harness) -> Fig5 {
+    let workloads = [Workload::Bfs, Workload::Pr, Workload::Bc, Workload::Cc];
+    let mut table = Table::new(&["workload", "FS", "OK", "LJ", "WEB", "OG", "mean"]);
+    let mut cells = Vec::new();
+    for w in workloads {
+        let mut row = vec![w.abbrev().to_string()];
+        let mut sum = 0.0;
+        for ds in Dataset::ALL {
+            let r = h.report(ds, w, System::Hygra);
+            let frac = r.mem_stall_fraction();
+            cells.push((w, ds, frac));
+            sum += frac;
+            row.push(pct(frac));
+        }
+        row.push(pct(sum / Dataset::ALL.len() as f64));
+        table.row(&row);
+    }
+    Fig5 { table, cells }
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 5: Hygra time stalled on main-memory accesses (paper mean: 51.1%)")?;
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Fig. 7: ChGraph vs the HATS-V variant.
+#[derive(Debug)]
+pub struct Fig7 {
+    /// Rendered table.
+    pub table: Table,
+    /// Per-workload ChGraph speedup over HATS-V (paper: 2.56x–3.01x).
+    pub speedups: Vec<(Workload, f64)>,
+}
+
+/// Regenerates Fig. 7 on the Web-trackers stand-in.
+pub fn fig7(h: &Harness) -> Fig7 {
+    let mut table = Table::new(&["workload", "HATS-V cycles", "ChGraph cycles", "ChGraph speedup"]);
+    let mut speedups = Vec::new();
+    for w in Workload::HYPERGRAPH {
+        let hats = h.report(Dataset::WebTrackers, w, System::HatsV);
+        let chg = h.report(Dataset::WebTrackers, w, System::ChGraph);
+        let s = chg.speedup_over(&hats);
+        speedups.push((w, s));
+        table.row(&[
+            w.abbrev().into(),
+            hats.cycles.to_string(),
+            chg.cycles.to_string(),
+            fx(s),
+        ]);
+    }
+    Fig7 { table, speedups }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 7: ChGraph vs HATS-V on WEB (paper: 2.56x-3.01x)")?;
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Fig. 8: sharable-ratio curves.
+#[derive(Debug)]
+pub struct Fig8 {
+    /// Vertex-side table (Fig. 8(a)).
+    pub vertices: Table,
+    /// Hyperedge-side table (Fig. 8(b)).
+    pub hyperedges: Table,
+}
+
+/// Regenerates Fig. 8 from the harness's scaled datasets.
+pub fn fig8(h: &Harness) -> Fig8 {
+    let ks: Vec<usize> = (2..=10).collect();
+    let build = |side: Side| {
+        let mut header = vec!["dataset".to_string()];
+        header.extend(ks.iter().map(|k| format!("k={k}")));
+        let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(&hdr);
+        for ds in Dataset::ALL {
+            let g = h.graph(ds);
+            let mut row = vec![ds.abbrev().to_string()];
+            for (_, r) in sharable_curve(&g, side, ks.iter().copied()) {
+                row.push(pct(r));
+            }
+            t.row(&row);
+        }
+        t
+    };
+    Fig8 { vertices: build(Side::Vertex), hyperedges: build(Side::Hyperedge) }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 8(a): ratio of vertices shared by >= k hyperedges")?;
+        write!(f, "{}", self.vertices)?;
+        writeln!(f, "Fig. 8(b): ratio of hyperedges shared by >= k vertices")?;
+        write!(f, "{}", self.hyperedges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn fig8_smoke() {
+        let h = Harness::new(Scale(0.05));
+        let f = fig8(&h);
+        assert_eq!(f.vertices.num_rows(), 5);
+        assert!(f.to_string().contains("k=7"));
+    }
+
+    #[test]
+    fn fig2_and_fig3_smoke() {
+        let h = Harness::new(Scale(0.05));
+        let f2 = fig2(&h);
+        assert!(f2.hygra_accesses > 0 && f2.gla_accesses > 0);
+        let f3 = fig3(&h);
+        assert!(f3.chgraph_speedup > 0.0);
+        assert!(f3.to_string().contains("ChGraph"));
+    }
+}

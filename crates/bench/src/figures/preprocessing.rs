@@ -1,0 +1,86 @@
+//! Fig. 21: preprocessing time and storage overheads.
+
+use super::{pct, Harness};
+use crate::Table;
+use chgraph::preprocess::{bipartite_build_cycles, merge_stats, oag_build_cycles};
+use hypergraph::datasets::Dataset;
+use hypergraph::Side;
+use oag::OagConfig;
+use std::fmt;
+
+/// Fig. 21: (a) preprocessing-time overhead and (b) storage overhead of
+/// ChGraph's OAGs over Hygra's bipartite-only preprocessing.
+#[derive(Debug)]
+pub struct Fig21 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(dataset, time overhead fraction, storage overhead fraction)`.
+    pub overheads: Vec<(Dataset, f64, f64)>,
+}
+
+/// Regenerates Fig. 21.
+pub fn fig21(h: &Harness) -> Fig21 {
+    let mut table = Table::new(&[
+        "dataset",
+        "Hygra pre (cyc)",
+        "ChGraph pre (cyc)",
+        "time overhead",
+        "paper",
+        "storage overhead",
+    ]);
+    let paper_time = ["39.4%", "46.1%", "23.9%", "13.6%", "43.1%"];
+    let mut overheads = Vec::new();
+    for (i, ds) in Dataset::ALL.into_iter().enumerate() {
+        let g = h.graph(ds);
+        let (ho, hs) = OagConfig::new().build_with_stats(&g, Side::Hyperedge);
+        let (vo, vs) = OagConfig::new().build_with_stats(&g, Side::Vertex);
+        let base = bipartite_build_cycles(&g);
+        let oag = oag_build_cycles(&merge_stats(hs, vs));
+        let time_ov = oag as f64 / base as f64;
+        let storage_ov = (ho.size_bytes() + vo.size_bytes()) as f64 / g.size_bytes() as f64;
+        overheads.push((ds, time_ov, storage_ov));
+        table.row(&[
+            ds.abbrev().into(),
+            base.to_string(),
+            (base + oag).to_string(),
+            pct(time_ov),
+            paper_time[i].into(),
+            pct(storage_ov),
+        ]);
+    }
+    Fig21 { table, overheads }
+}
+
+impl fmt::Display for Fig21 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 21: OAG preprocessing overhead (paper time: 13.6%-46.1%; storage: 13.9%-20.4%)"
+        )?;
+        write!(f, "{}", self.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn overheads_are_positive_and_web_is_not_worst() {
+        let h = Harness::new(Scale(0.1));
+        let f = fig21(&h);
+        assert_eq!(f.overheads.len(), 5);
+        for &(ds, t, s) in &f.overheads {
+            assert!(t > 0.0 && s > 0.0, "{ds}: non-positive overheads");
+        }
+        let web = f
+            .overheads
+            .iter()
+            .find(|o| o.0 == Dataset::WebTrackers)
+            .unwrap()
+            .1;
+        let max = f.overheads.iter().map(|o| o.1).fold(0.0f64, f64::max);
+        assert!(web < max, "WEB must not pay the largest time overhead");
+    }
+}

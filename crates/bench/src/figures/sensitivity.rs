@@ -1,0 +1,232 @@
+//! Sensitivity studies: Figs. 17 (`D_max`), 18 (`W_min`), 19 (LLC size),
+//! and 20 (core count).
+
+use super::{fx, Harness, System};
+use crate::Table;
+use hyperalgos::Workload;
+use hypergraph::datasets::Dataset;
+use oag::{ChainConfig, OagConfig};
+use std::fmt;
+
+/// Fig. 17: ChGraph PageRank performance across `D_max`.
+#[derive(Debug)]
+pub struct Fig17 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(d_max, dataset, cycles)` samples.
+    pub samples: Vec<(usize, Dataset, u64)>,
+}
+
+/// Regenerates Fig. 17 (`D_max` in 2..=64).
+pub fn fig17(h: &Harness) -> Fig17 {
+    let sweep = [2usize, 4, 8, 16, 32, 64];
+    let mut header = vec!["dataset".to_string()];
+    header.extend(sweep.iter().map(|d| format!("D_max={d}")));
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&hdr);
+    let mut samples = Vec::new();
+    for ds in Dataset::ALL {
+        let mut row = vec![ds.abbrev().to_string()];
+        let mut base = 0u64;
+        for (i, &d) in sweep.iter().enumerate() {
+            let cfg = h.cfg.with_chain(ChainConfig::new(d));
+            let r = h.run_with(ds, Workload::Pr, System::ChGraph, &cfg);
+            samples.push((d, ds, r.cycles));
+            if i == 0 {
+                base = r.cycles;
+            }
+            row.push(format!("{}", fx(base as f64 / r.cycles as f64)));
+        }
+        table.row(&row);
+    }
+    Fig17 { table, samples }
+}
+
+impl fmt::Display for Fig17 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 17: ChGraph PR speedup vs D_max=2 (paper: sweet spot at 16)"
+        )?;
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Fig. 18: ChGraph PageRank performance across `W_min`.
+#[derive(Debug)]
+pub struct Fig18 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(w_min, dataset, cycles)` samples.
+    pub samples: Vec<(u32, Dataset, u64)>,
+}
+
+/// Regenerates Fig. 18 (`W_min` in 1..=9), normalized to `W_min = 1`.
+pub fn fig18(h: &Harness) -> Fig18 {
+    let sweep = [1u32, 3, 5, 7, 9];
+    let mut header = vec!["dataset".to_string()];
+    header.extend(sweep.iter().map(|w| format!("W_min={w}")));
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&hdr);
+    let mut samples = Vec::new();
+    for ds in Dataset::ALL {
+        let mut row = vec![ds.abbrev().to_string()];
+        let mut base = 0u64;
+        for (i, &w) in sweep.iter().enumerate() {
+            let cfg = h.cfg.with_oag(OagConfig::new().with_w_min(w));
+            let r = h.run_with(ds, Workload::Pr, System::ChGraph, &cfg);
+            samples.push((w, ds, r.cycles));
+            if i == 0 {
+                base = r.cycles;
+            }
+            row.push(super::pct(base as f64 / r.cycles as f64));
+        }
+        table.row(&row);
+    }
+    Fig18 { table, samples }
+}
+
+impl fmt::Display for Fig18 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 18: ChGraph PR performance vs W_min=1 (paper: 98.7% at W_min=3, degrading beyond)"
+        )?;
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Fig. 19: execution time on WEB across LLC sizes.
+#[derive(Debug)]
+pub struct Fig19 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(llc_bytes, workload, chgraph_cycles, hygra_cycles)` samples.
+    pub samples: Vec<(usize, Workload, u64, u64)>,
+}
+
+/// Regenerates Fig. 19. The paper sweeps 8–32 MB (a 1:4 range below the
+/// working set); the scaled machine sweeps 32 KB–1 MB, which brackets the
+/// corresponding transition at stand-in scale.
+pub fn fig19(h: &Harness) -> Fig19 {
+    let sweep = [32usize << 10, 64 << 10, 256 << 10, 1 << 20];
+    let workloads = [Workload::Pr, Workload::Bfs, Workload::Cc];
+    let mut header = vec!["workload".to_string(), "system".to_string()];
+    header.extend(sweep.iter().map(|b| format!("{} KB", b >> 10)));
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&hdr);
+    let mut samples = Vec::new();
+    for w in workloads {
+        for sys in [System::ChGraph, System::Hygra] {
+            let mut row = vec![w.abbrev().to_string(), sys.label().to_string()];
+            let mut base = 0u64;
+            for (i, &llc) in sweep.iter().enumerate() {
+                let scaled_llc =
+                    ((llc as f64 * h.scale.factor()) as usize).next_power_of_two();
+                let cfg =
+                    h.cfg.with_system(h.cfg.system.with_llc_bytes(scaled_llc.max(16 << 10)));
+                let r = h.run_with(Dataset::WebTrackers, w, sys, &cfg);
+                samples.push((llc, w, r.cycles, 0));
+                if i == 0 {
+                    base = r.cycles;
+                }
+                row.push(fx(base as f64 / r.cycles as f64));
+            }
+            table.row(&row);
+        }
+    }
+    Fig19 { table, samples }
+}
+
+impl fmt::Display for Fig19 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 19: WEB speedup vs the smallest LLC (paper: ChGraph gains 1.30x from 8->32 MB)"
+        )?;
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Fig. 20: PageRank scaling with core count.
+#[derive(Debug)]
+pub struct Fig20 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(cores, dataset, system-label, cycles)` samples.
+    pub samples: Vec<(usize, Dataset, &'static str, u64)>,
+}
+
+/// Regenerates Fig. 20 (1..16 cores, ChGraph vs Hygra).
+pub fn fig20(h: &Harness) -> Fig20 {
+    let sweep = [1usize, 2, 4, 8, 16];
+    let datasets = [Dataset::WebTrackers, Dataset::LiveJournal];
+    let mut header = vec!["dataset".to_string(), "system".to_string()];
+    header.extend(sweep.iter().map(|c| format!("{c} cores")));
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(&hdr);
+    let mut samples = Vec::new();
+    for ds in datasets {
+        for sys in [System::ChGraph, System::Hygra] {
+            let mut row = vec![ds.abbrev().to_string(), sys.label().to_string()];
+            let mut base = 0u64;
+            for (i, &c) in sweep.iter().enumerate() {
+                let cfg = h.cfg.with_system(h.cfg.system.with_cores(c));
+                let r = h.run_with(ds, Workload::Pr, sys, &cfg);
+                samples.push((c, ds, sys.label(), r.cycles));
+                if i == 0 {
+                    base = r.cycles;
+                }
+                row.push(fx(base as f64 / r.cycles as f64));
+            }
+            table.row(&row);
+        }
+    }
+    Fig20 { table, samples }
+}
+
+impl fmt::Display for Fig20 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fig. 20: PR speedup vs 1 core (paper: ChGraph scales better than the baseline)"
+        )?;
+        write!(f, "{}", self.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn dmax_sweep_smoke() {
+        let h = Harness::new(Scale(0.04));
+        let f = fig17(&h);
+        assert_eq!(f.samples.len(), 30);
+        assert!(f.samples.iter().all(|s| s.2 > 0));
+    }
+
+    #[test]
+    fn core_sweep_monotone_smoke() {
+        let h = Harness::new(Scale(0.04));
+        let f = fig20(&h);
+        // More cores must never be catastrophically slower: compare 1 vs 16.
+        for ds in [Dataset::WebTrackers, Dataset::LiveJournal] {
+            let one = f
+                .samples
+                .iter()
+                .find(|s| s.0 == 1 && s.1 == ds && s.2 == "ChGraph")
+                .unwrap()
+                .3;
+            let sixteen = f
+                .samples
+                .iter()
+                .find(|s| s.0 == 16 && s.1 == ds && s.2 == "ChGraph")
+                .unwrap()
+                .3;
+            assert!(sixteen < one, "{ds}: 16 cores must beat 1 core");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Static artifacts: Table I, Table II, and the §VI-E area/power table.
+
+use crate::{load_scaled, Scale, Table};
+use archsim::SystemConfig;
+use chgraph::engine::EngineCostModel;
+use hypergraph::datasets::Dataset;
+use hypergraph::stats::sharable_ratio;
+use hypergraph::Side;
+use std::fmt;
+
+/// Table I: configuration of the simulated system (paper values plus the
+/// capacity-scaled variant used with the stand-in datasets).
+#[derive(Debug)]
+pub struct Table1 {
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Regenerates Table I.
+pub fn table1() -> Table1 {
+    let paper = SystemConfig::paper();
+    let scaled = SystemConfig::scaled16();
+    let mut t = Table::new(&["structure", "paper (Table I)", "scaled (this repo)"]);
+    let kb = |b: usize| {
+        if b >= 1 << 20 {
+            format!("{} MB", b >> 20)
+        } else {
+            format!("{} KB", b >> 10)
+        }
+    };
+    t.row(&[
+        "cores".into(),
+        format!("{} x OOO x86-64, 2.2 GHz", paper.num_cores),
+        format!("{} (cost model, MLP {})", scaled.num_cores, scaled.mlp),
+    ]);
+    t.row(&[
+        "L1".into(),
+        format!("{}/core, {}-way, {} cyc", kb(paper.l1.size_bytes), paper.l1.ways, paper.l1.latency),
+        format!("{}/core, {}-way, {} cyc", kb(scaled.l1.size_bytes), scaled.l1.ways, scaled.l1.latency),
+    ]);
+    t.row(&[
+        "L2".into(),
+        format!("{}/core, {}-way, {} cyc", kb(paper.l2.size_bytes), paper.l2.ways, paper.l2.latency),
+        format!("{}/core, {}-way, {} cyc", kb(scaled.l2.size_bytes), scaled.l2.ways, scaled.l2.latency),
+    ]);
+    t.row(&[
+        "L3".into(),
+        format!(
+            "{} shared, {} banks, {}-way, {} cyc",
+            kb(paper.l3.size_bytes),
+            paper.l3_banks,
+            paper.l3.ways,
+            paper.l3.latency
+        ),
+        format!(
+            "{} shared, {} banks, {}-way, {} cyc",
+            kb(scaled.l3.size_bytes),
+            scaled.l3_banks,
+            scaled.l3.ways,
+            scaled.l3.latency
+        ),
+    ]);
+    t.row(&[
+        "NoC".into(),
+        format!(
+            "{}x{} mesh, {}-cyc routers, {}-cyc links",
+            paper.noc.width, paper.noc.height, paper.noc.router_latency, paper.noc.link_latency
+        ),
+        "same".into(),
+    ]);
+    t.row(&[
+        "memory".into(),
+        format!(
+            "{} controllers, {} cyc latency, 1 line / {} cyc",
+            paper.dram.controllers, paper.dram.base_latency, paper.dram.cycles_per_line
+        ),
+        "same".into(),
+    ]);
+    Table1 { table: t }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table I: simulated system configuration")?;
+        write!(f, "{}", self.table)
+    }
+}
+
+/// Table II: the stand-in datasets and their overlap profiles.
+#[derive(Debug)]
+pub struct Table2 {
+    /// Rendered table.
+    pub table: Table,
+    /// `(dataset, |V|, |H|, #BEdges)` rows for programmatic checks.
+    pub rows: Vec<(Dataset, usize, usize, usize)>,
+}
+
+/// Regenerates Table II at the given scale.
+pub fn table2(scale: Scale) -> Table2 {
+    let mut t = Table::new(&[
+        "dataset", "#vertices", "#hyperedges", "#bedges", "size", "k=2 shared", "k=7 shared",
+    ]);
+    let mut rows = Vec::new();
+    for ds in Dataset::ALL {
+        let g = load_scaled(ds, scale);
+        let bytes = g.size_bytes() + 8 * (g.num_vertices() + g.num_hyperedges());
+        t.row(&[
+            format!("{} ({})", ds.full_name(), ds.abbrev()),
+            g.num_vertices().to_string(),
+            g.num_hyperedges().to_string(),
+            g.num_bipartite_edges().to_string(),
+            format!("{:.1} MB", bytes as f64 / 1e6),
+            super::pct(sharable_ratio(&g, Side::Vertex, 2)),
+            super::pct(sharable_ratio(&g, Side::Vertex, 7)),
+        ]);
+        rows.push((ds, g.num_vertices(), g.num_hyperedges(), g.num_bipartite_edges()));
+    }
+    Table2 { table: t, rows }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table II: stand-in hypergraph datasets")?;
+        write!(f, "{}", self.table)
+    }
+}
+
+/// The §VI-E area/power accounting of the ChGraph engine.
+#[derive(Debug)]
+pub struct AreaTable {
+    /// Rendered table.
+    pub table: Table,
+    /// The cost model used.
+    pub model: EngineCostModel,
+}
+
+/// Regenerates the §VI-E engine cost table.
+pub fn area_table() -> AreaTable {
+    let model = EngineCostModel::paper();
+    let mut t = Table::new(&["structure", "entries", "bytes", "area (mm^2)"]);
+    for b in model.buffers() {
+        t.row(&[
+            b.name.into(),
+            b.entries.to_string(),
+            b.bytes().to_string(),
+            format!("{:.4}", model.buffer_area_mm2(&b)),
+        ]);
+    }
+    t.row(&[
+        "total engine".into(),
+        "-".into(),
+        model.total_storage_bytes().to_string(),
+        format!("{:.3}", model.area_mm2),
+    ]);
+    AreaTable { table: t, model }
+}
+
+impl fmt::Display for AreaTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SVI-E: ChGraph engine area/power (65 nm)")?;
+        write!(f, "{}", self.table)?;
+        writeln!(
+            f,
+            "area {:.3} mm^2 ({:.2}% of core); power {:.0} mW ({:.2}% of TDP)",
+            self.model.area_mm2,
+            self.model.area_fraction_of_core() * 100.0,
+            self.model.power_mw,
+            self.model.power_fraction_of_tdp() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_structures() {
+        let t = table1();
+        assert_eq!(t.table.num_rows(), 6);
+        let s = t.to_string();
+        assert!(s.contains("4x4 mesh"));
+        assert!(s.contains("32 MB"));
+    }
+
+    #[test]
+    fn table2_lists_all_datasets() {
+        let t = table2(Scale(0.05));
+        assert_eq!(t.rows.len(), 5);
+        assert!(t.to_string().contains("Web-trackers"));
+    }
+
+    #[test]
+    fn area_matches_paper_totals() {
+        let a = area_table();
+        assert!((a.model.area_mm2 - 0.094).abs() < 1e-12);
+        assert!(a.to_string().contains("0.26% of core"));
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness for the ChGraph reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§VI) has a
+//! regeneration function in [`figures`] that executes the corresponding
+//! workloads on the simulated machine and returns (and pretty-prints) the
+//! same rows/series the paper reports. The `figures` binary of the
+//! workspace root dispatches to these functions:
+//!
+//! ```text
+//! cargo run --release --bin figures -- fig14 --scale 0.5
+//! cargo run --release --bin figures -- all
+//! ```
+//!
+//! Absolute numbers differ from the paper (the substrate is this
+//! repository's simulator, not the authors' ZSim testbed, and the datasets
+//! are synthetic stand-ins); the *shapes* — who wins, by what rough factor,
+//! where crossovers fall — are asserted by the integration tests in
+//! `tests/`.
+
+pub mod figures;
+mod scale;
+mod table;
+
+pub use scale::{load_graph_scaled, load_scaled, Scale};
+pub use table::Table;

@@ -1,0 +1,81 @@
+//! Dataset scaling for quick harness runs.
+
+use hypergraph::datasets::{Dataset, GraphDataset};
+use hypergraph::Hypergraph;
+
+/// A multiplicative scale applied to the stand-in dataset sizes, letting the
+/// harness run quickly (`Scale(0.2)`) or at full stand-in size
+/// (`Scale::FULL`). Cache capacities are *not* rescaled — sub-unity scales
+/// soften the capacity-miss regime and are meant for smoke runs only.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// Full stand-in size (the configuration EXPERIMENTS.md records).
+    pub const FULL: Scale = Scale(1.0);
+
+    /// Clamped scale value.
+    pub fn factor(self) -> f64 {
+        self.0.clamp(0.02, 4.0)
+    }
+
+    fn apply(self, n: usize) -> usize {
+        ((n as f64 * self.factor()) as usize).max(64)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::FULL
+    }
+}
+
+/// Loads the stand-in for `ds` at the given scale (element counts scaled,
+/// structure parameters untouched).
+pub fn load_scaled(ds: Dataset, scale: Scale) -> Hypergraph {
+    let mut cfg = ds.config();
+    cfg.num_vertices = scale.apply(cfg.num_vertices).max(cfg.template_max + cfg.noise_vertices);
+    cfg.num_hyperedges = scale.apply(cfg.num_hyperedges);
+    cfg.generate()
+}
+
+/// Loads the ordinary-graph stand-in for `gd` at the given scale.
+pub fn load_graph_scaled(gd: GraphDataset, scale: Scale) -> Hypergraph {
+    let (v, e, seed) = match gd {
+        GraphDataset::ComAmazon => (6_000usize, 18_000usize, 0xA2u64),
+        GraphDataset::SocPokec => (8_000, 60_000, 0x9C),
+    };
+    hypergraph::generate::two_uniform_graph(scale.apply(v), scale.apply(e), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_dataset_loader() {
+        let a = load_scaled(Dataset::LiveJournal, Scale::FULL);
+        let b = Dataset::LiveJournal.load();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaling_shrinks() {
+        let small = load_scaled(Dataset::LiveJournal, Scale(0.25));
+        let full = Dataset::LiveJournal.load();
+        assert!(small.num_hyperedges() < full.num_hyperedges() / 2);
+        assert!(small.num_vertices() >= 64);
+    }
+
+    #[test]
+    fn graph_scaling() {
+        let g = load_graph_scaled(GraphDataset::ComAmazon, Scale(0.5));
+        assert!(g.num_hyperedges() <= 9_000);
+    }
+
+    #[test]
+    fn scale_is_clamped() {
+        assert_eq!(Scale(0.0).factor(), 0.02);
+        assert_eq!(Scale(100.0).factor(), 4.0);
+    }
+}

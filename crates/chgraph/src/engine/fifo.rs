@@ -1,0 +1,118 @@
+//! A bounded FIFO with occupancy statistics — the chain FIFO and
+//! bipartite-edge FIFO of the ChGraph engine (§V-A, Fig. 12).
+
+/// A bounded FIFO tracking stall statistics for its producer and consumer.
+#[derive(Clone, Debug)]
+pub struct Fifo<T> {
+    items: std::collections::VecDeque<T>,
+    capacity: usize,
+    /// Producer attempts rejected because the FIFO was full.
+    pub full_rejections: u64,
+    /// Consumer attempts rejected because the FIFO was empty.
+    pub empty_rejections: u64,
+    /// Running peak occupancy.
+    pub peak_occupancy: usize,
+    /// Total successful pushes.
+    pub total_pushed: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates an empty FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        Fifo {
+            items: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            full_rejections: 0,
+            empty_rejections: 0,
+            peak_occupancy: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Attempts to push; returns `false` (and records a rejection) when full.
+    pub fn try_push(&mut self, item: T) -> bool {
+        if self.items.len() == self.capacity {
+            self.full_rejections += 1;
+            return false;
+        }
+        self.items.push_back(item);
+        self.total_pushed += 1;
+        self.peak_occupancy = self.peak_occupancy.max(self.items.len());
+        true
+    }
+
+    /// Attempts to pop; returns `None` (and records a rejection) when empty.
+    pub fn try_pop(&mut self) -> Option<T> {
+        match self.items.pop_front() {
+            Some(item) => Some(item),
+            None => {
+                self.empty_rejections += 1;
+                None
+            }
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_order() {
+        let mut f = Fifo::new(2);
+        assert!(f.try_push(1));
+        assert!(f.try_push(2));
+        assert!(!f.try_push(3), "full");
+        assert_eq!(f.full_rejections, 1);
+        assert_eq!(f.try_pop(), Some(1));
+        assert_eq!(f.try_pop(), Some(2));
+        assert_eq!(f.try_pop(), None);
+        assert_eq!(f.empty_rejections, 1);
+    }
+
+    #[test]
+    fn occupancy_stats() {
+        let mut f = Fifo::new(4);
+        for i in 0..3 {
+            f.try_push(i);
+        }
+        f.try_pop();
+        f.try_push(9);
+        assert_eq!(f.peak_occupancy, 3);
+        assert_eq!(f.total_pushed, 4);
+        assert_eq!(f.len(), 3);
+        assert!(!f.is_full() && !f.is_empty());
+        assert_eq!(f.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u32>::new(0);
+    }
+}

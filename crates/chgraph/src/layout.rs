@@ -1,0 +1,146 @@
+//! Address-space layout of the hypergraph working set (Fig. 13).
+
+use archsim::{AddressMap, Region};
+use hypergraph::Hypergraph;
+use oag::Oag;
+
+/// Element sizes, in bytes, of the simulated data arrays.
+pub mod elem {
+    /// CSR offsets (`u32`).
+    pub const OFFSET: u32 = 4;
+    /// CSR targets (`u32`).
+    pub const INCIDENT: u32 = 4;
+    /// Values (`f64`).
+    pub const VALUE: u32 = 8;
+    /// OAG offsets/edges/weights (`u32`).
+    pub const OAG: u32 = 4;
+    /// Bitmap words (`u64`).
+    pub const BITMAP_WORD: u32 = 8;
+    /// Scratch bytes (visited flags, chain queue entries).
+    pub const OTHER: u32 = 4;
+}
+
+/// Lays out every data array of one execution in the simulated address
+/// space: the six bipartite arrays, the six OAG arrays (when OAGs are in
+/// use), the active bitmaps, and a scratch region for runtime-private
+/// structures (software visited flags, the in-memory chain queue).
+///
+/// ```
+/// use chgraph::layout::layout_for;
+/// let g = hypergraph::fig1_example();
+/// let map = layout_for(&g, None, None, 64);
+/// assert!(map.len_of(archsim::Region::VertexValue).unwrap() >= 7);
+/// assert!(map.len_of(archsim::Region::HOagEdge).is_none());
+/// ```
+pub fn layout_for(
+    g: &Hypergraph,
+    h_oag: Option<&Oag>,
+    v_oag: Option<&Oag>,
+    line_bytes: usize,
+) -> AddressMap {
+    let nv = g.num_vertices();
+    let nh = g.num_hyperedges();
+    // The two incident arrays are sized independently: for directed
+    // hypergraphs the sides are not transposes and their edge counts differ.
+    let h_edges = g.csr_for(hypergraph::Side::Hyperedge).num_edges();
+    let v_edges = g.csr_for(hypergraph::Side::Vertex).num_edges();
+    let mut map = AddressMap::new(line_bytes);
+    map.add(Region::HyperedgeOffset, elem::OFFSET, nh + 1);
+    map.add(Region::IncidentVertex, elem::INCIDENT, h_edges.max(1));
+    map.add(Region::HyperedgeValue, elem::VALUE, nh);
+    map.add(Region::VertexOffset, elem::OFFSET, nv + 1);
+    map.add(Region::IncidentHyperedge, elem::INCIDENT, v_edges.max(1));
+    map.add(Region::VertexValue, elem::VALUE, nv);
+    if let Some(oag) = h_oag {
+        map.add(Region::HOagOffset, elem::OAG, oag.len() + 1);
+        map.add(Region::HOagEdge, elem::OAG, oag.num_edge_entries().max(1));
+        map.add(Region::HOagWeight, elem::OAG, oag.num_edge_entries().max(1));
+    }
+    if let Some(oag) = v_oag {
+        map.add(Region::VOagOffset, elem::OAG, oag.len() + 1);
+        map.add(Region::VOagEdge, elem::OAG, oag.num_edge_entries().max(1));
+        map.add(Region::VOagWeight, elem::OAG, oag.num_edge_entries().max(1));
+    }
+    // Current + next bitmap for each side, in 64-bit words.
+    let bitmap_words = 2 * (nv.div_ceil(64) + nh.div_ceil(64));
+    map.add(Region::Bitmap, elem::BITMAP_WORD, bitmap_words.max(1));
+    // Scratch: visited flags and the shared chain queue (one u32 slot per
+    // element of the larger side, doubled for safety).
+    map.add(Region::Other, elem::OTHER, 2 * nv.max(nh).max(1));
+    map
+}
+
+/// Word index within the [`Region::Bitmap`] region of element `id`'s bit.
+///
+/// The region packs four bitmaps back to back:
+/// `[cur_vertex, cur_hyperedge, next_vertex, next_hyperedge]`.
+pub fn bitmap_word(
+    g: &Hypergraph,
+    side: hypergraph::Side,
+    next: bool,
+    id: u32,
+) -> u64 {
+    let vw = g.num_vertices().div_ceil(64) as u64;
+    let hw = g.num_hyperedges().div_ceil(64) as u64;
+    let base = match (next, side) {
+        (false, hypergraph::Side::Vertex) => 0,
+        (false, hypergraph::Side::Hyperedge) => vw,
+        (true, hypergraph::Side::Vertex) => vw + hw,
+        (true, hypergraph::Side::Hyperedge) => 2 * vw + hw,
+    };
+    base + id as u64 / 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::Side;
+    use oag::OagConfig;
+
+    #[test]
+    fn layout_without_oag_omits_oag_regions() {
+        let g = hypergraph::fig1_example();
+        let map = layout_for(&g, None, None, 64);
+        assert!(map.len_of(Region::HOagOffset).is_none());
+        assert_eq!(map.len_of(Region::IncidentVertex), Some(12));
+        assert_eq!(map.len_of(Region::VertexValue), Some(7));
+    }
+
+    #[test]
+    fn layout_with_oags_includes_all_regions() {
+        let g = hypergraph::fig1_example();
+        let ho = OagConfig::new().with_w_min(1).build(&g, Side::Hyperedge);
+        let vo = OagConfig::new().with_w_min(1).build(&g, Side::Vertex);
+        let map = layout_for(&g, Some(&ho), Some(&vo), 64);
+        assert_eq!(map.len_of(Region::HOagEdge), Some(ho.num_edge_entries() as u64));
+        assert_eq!(map.len_of(Region::VOagOffset), Some(vo.len() as u64 + 1));
+        for r in Region::ALL {
+            assert!(map.len_of(r).is_some(), "{r:?} missing");
+        }
+    }
+
+    #[test]
+    fn bitmap_words_are_disjoint_across_sides_and_epochs() {
+        let g = hypergraph::generate::GeneratorConfig::new(200, 150).with_seed(1).generate();
+        let mut words = vec![
+            bitmap_word(&g, Side::Vertex, false, 0),
+            bitmap_word(&g, Side::Hyperedge, false, 0),
+            bitmap_word(&g, Side::Vertex, true, 0),
+            bitmap_word(&g, Side::Hyperedge, true, 0),
+        ];
+        words.dedup();
+        assert_eq!(words.len(), 4, "bitmap bases must differ");
+        // Last word of each sub-bitmap stays within the region.
+        let map = layout_for(&g, None, None, 64);
+        let last = bitmap_word(&g, Side::Hyperedge, true, 149);
+        assert!(last < map.len_of(Region::Bitmap).unwrap());
+    }
+
+    #[test]
+    fn bitmap_word_advances_every_64_ids() {
+        let g = hypergraph::generate::GeneratorConfig::new(200, 150).with_seed(1).generate();
+        let w0 = bitmap_word(&g, Side::Vertex, false, 0);
+        assert_eq!(bitmap_word(&g, Side::Vertex, false, 63), w0);
+        assert_eq!(bitmap_word(&g, Side::Vertex, false, 64), w0 + 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Test-support workloads shared by this crate's unit tests.
+
+use crate::{Algorithm, State, UpdateOutcome};
+use hypergraph::{Frontier, Hypergraph, HyperedgeId, VertexId};
+
+/// A PageRank-like all-active accumulation workload: every element is active
+/// every iteration, values are reset per phase, and every bipartite edge
+/// both reads and writes its destination. This is the regime of the paper's
+/// Fig. 2 (PR) and the most memory-intensive shape the runtimes face.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct PrLike {
+    /// Number of iterations to run.
+    pub iterations: usize,
+}
+
+impl Algorithm for PrLike {
+    fn name(&self) -> &'static str {
+        "pr-like"
+    }
+
+    fn init(&self, g: &Hypergraph) -> (State, Frontier) {
+        (
+            State::filled(g, 1.0 / g.num_vertices() as f64, 0.0),
+            Frontier::full(g.num_vertices()),
+        )
+    }
+
+    fn begin_iteration(&self, _g: &Hypergraph, state: &mut State, _iteration: usize) {
+        state.hyperedge_value.fill(0.0);
+    }
+
+    fn begin_vertex_phase(&self, _g: &Hypergraph, state: &mut State, _iteration: usize) {
+        state.vertex_value.fill(0.0);
+    }
+
+    fn apply_hf(&self, g: &Hypergraph, state: &mut State, v: u32, h: u32) -> UpdateOutcome {
+        state.hyperedge_value[h as usize] +=
+            state.vertex_value[v as usize] / g.vertex_degree(VertexId::new(v)).max(1) as f64;
+        UpdateOutcome::WROTE_AND_ACTIVATED
+    }
+
+    fn apply_vf(&self, g: &Hypergraph, state: &mut State, h: u32, v: u32) -> UpdateOutcome {
+        state.vertex_value[v as usize] +=
+            state.hyperedge_value[h as usize] / g.hyperedge_degree(HyperedgeId::new(h)).max(1) as f64;
+        UpdateOutcome::WROTE_AND_ACTIVATED
+    }
+
+    fn max_iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn all_active(&self) -> bool {
+        true
+    }
+}

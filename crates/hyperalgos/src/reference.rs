@@ -1,0 +1,371 @@
+//! Naive reference implementations used to verify simulated executions.
+//!
+//! Every function here computes its result directly on the hypergraph with
+//! textbook sequential algorithms — no scheduling, no simulation — so the
+//! test suite can check the GLA implementations end-to-end.
+
+use hypergraph::{Hypergraph, HyperedgeId, Side, VertexId};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Bipartite BFS: returns `(vertex_dists, hyperedge_dists)` in bipartite
+/// hops from `source` (unreached elements hold `f64::INFINITY`).
+pub fn bfs(g: &Hypergraph, source: VertexId) -> (Vec<f64>, Vec<f64>) {
+    let mut vd = vec![f64::INFINITY; g.num_vertices()];
+    let mut hd = vec![f64::INFINITY; g.num_hyperedges()];
+    vd[source.index()] = 0.0;
+    let mut queue = VecDeque::from([(Side::Vertex, source.raw())]);
+    while let Some((side, id)) = queue.pop_front() {
+        let dist = match side {
+            Side::Vertex => vd[id as usize],
+            Side::Hyperedge => hd[id as usize],
+        };
+        for &n in g.incidence(side, id) {
+            let slot = match side {
+                Side::Vertex => &mut hd[n as usize],
+                Side::Hyperedge => &mut vd[n as usize],
+            };
+            if slot.is_infinite() {
+                *slot = dist + 1.0;
+                queue.push_back((side.opposite(), n));
+            }
+        }
+    }
+    (vd, hd)
+}
+
+/// Dense two-phase PageRank matching the paper's Algorithm 1 formulation.
+pub fn pagerank(g: &Hypergraph, damping: f64, iterations: usize) -> Vec<f64> {
+    let nv = g.num_vertices();
+    let mut vv = vec![1.0 / nv as f64; nv];
+    let mut hv = vec![0.0; g.num_hyperedges()];
+    for _ in 0..iterations {
+        hv.fill(0.0);
+        for v in 0..nv as u32 {
+            let deg = g.vertex_degree(VertexId::new(v)).max(1) as f64;
+            for &h in g.incidence(Side::Vertex, v) {
+                hv[h as usize] += vv[v as usize] / deg;
+            }
+        }
+        vv.fill(0.0);
+        for h in 0..g.num_hyperedges() as u32 {
+            let hdeg = g.hyperedge_degree(HyperedgeId::new(h)).max(1) as f64;
+            for &v in g.incidence(Side::Hyperedge, h) {
+                let vdeg = g.vertex_degree(VertexId::new(v)).max(1) as f64;
+                vv[v as usize] +=
+                    (1.0 - damping) / (nv as f64 * vdeg) + damping * hv[h as usize] / hdeg;
+            }
+        }
+    }
+    vv
+}
+
+/// Connected-component labels: each vertex receives the minimum vertex id
+/// of its component.
+pub fn connected_components(g: &Hypergraph) -> Vec<f64> {
+    let mut label = vec![f64::INFINITY; g.num_vertices()];
+    for start in 0..g.num_vertices() as u32 {
+        if label[start as usize].is_finite() {
+            continue;
+        }
+        // BFS the component; `start` is its minimum id by scan order.
+        let mut queue = VecDeque::from([start]);
+        label[start as usize] = start as f64;
+        let mut seen_h = vec![];
+        let mut h_seen = std::collections::HashSet::new();
+        while let Some(v) = queue.pop_front() {
+            for &h in g.incidence(Side::Vertex, v) {
+                if h_seen.insert(h) {
+                    seen_h.push(h);
+                    for &u in g.incidence(Side::Hyperedge, h) {
+                        if label[u as usize].is_infinite() {
+                            label[u as usize] = start as f64;
+                            queue.push_back(u);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Panics unless `statuses` is a valid maximal strong independent set of
+/// `g`: no two selected vertices share a hyperedge, every vertex is
+/// decided, and no excluded vertex could be added.
+///
+/// # Panics
+///
+/// Panics with a description of the violation.
+pub fn assert_valid_mis(g: &Hypergraph, statuses: &[crate::MisStatus]) {
+    use crate::MisStatus;
+    assert_eq!(statuses.len(), g.num_vertices());
+    for (v, s) in statuses.iter().enumerate() {
+        assert_ne!(*s, MisStatus::Undecided, "v{v} left undecided");
+    }
+    // Independence: no hyperedge contains two selected vertices.
+    for h in 0..g.num_hyperedges() as u32 {
+        let selected = g
+            .incidence(Side::Hyperedge, h)
+            .iter()
+            .filter(|&&v| statuses[v as usize] == MisStatus::InSet)
+            .count();
+        assert!(selected <= 1, "hyperedge h{h} contains {selected} selected vertices");
+    }
+    // Maximality: every excluded vertex shares a hyperedge with a selected one.
+    for v in 0..g.num_vertices() as u32 {
+        if statuses[v as usize] != MisStatus::Excluded {
+            continue;
+        }
+        let witnessed = g.incidence(Side::Vertex, v).iter().any(|&h| {
+            g.incidence(Side::Hyperedge, h)
+                .iter()
+                .any(|&u| u != v && statuses[u as usize] == MisStatus::InSet)
+        });
+        assert!(witnessed, "excluded v{v} has no selected hyperedge-neighbor");
+    }
+}
+
+/// k-core fixpoint by repeated global recomputation: returns per-vertex
+/// alive flags. A vertex survives with >= `k` alive hyperedges; a hyperedge
+/// survives with >= 2 alive vertices.
+pub fn kcore(g: &Hypergraph, k: usize) -> Vec<bool> {
+    let mut v_alive = vec![true; g.num_vertices()];
+    let mut h_alive: Vec<bool> = (0..g.num_hyperedges())
+        .map(|h| g.hyperedge_degree(HyperedgeId::from_index(h)) >= 2)
+        .collect();
+    loop {
+        let mut changed = false;
+        for v in 0..g.num_vertices() as u32 {
+            if v_alive[v as usize] {
+                let alive_deg =
+                    g.incidence(Side::Vertex, v).iter().filter(|&&h| h_alive[h as usize]).count();
+                if alive_deg < k {
+                    v_alive[v as usize] = false;
+                    changed = true;
+                }
+            }
+        }
+        for h in 0..g.num_hyperedges() as u32 {
+            if h_alive[h as usize] {
+                let alive_deg = g
+                    .incidence(Side::Hyperedge, h)
+                    .iter()
+                    .filter(|&&v| v_alive[v as usize])
+                    .count();
+                if alive_deg < 2 {
+                    h_alive[h as usize] = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return v_alive;
+        }
+    }
+}
+
+/// Coreness of every vertex by textbook peeling with a rising threshold:
+/// hyperedges die below two alive vertices; a vertex removed during the
+/// `k`-threshold round has coreness `k - 1`.
+pub fn coreness(g: &Hypergraph) -> Vec<usize> {
+    let mut v_alive = vec![true; g.num_vertices()];
+    let mut h_alive: Vec<bool> = (0..g.num_hyperedges())
+        .map(|h| g.hyperedge_degree(HyperedgeId::from_index(h)) >= 2)
+        .collect();
+    let mut core = vec![usize::MAX; g.num_vertices()];
+    let alive_vdeg = |v: u32, h_alive: &[bool]| {
+        g.incidence(Side::Vertex, v).iter().filter(|&&h| h_alive[h as usize]).count()
+    };
+    for k in 0..=g.num_hyperedges().max(1) {
+        loop {
+            let mut changed = false;
+            for v in 0..g.num_vertices() as u32 {
+                if v_alive[v as usize] && alive_vdeg(v, &h_alive) < k {
+                    v_alive[v as usize] = false;
+                    core[v as usize] = k.saturating_sub(1);
+                    changed = true;
+                }
+            }
+            for h in 0..g.num_hyperedges() as u32 {
+                if h_alive[h as usize] {
+                    let n = g
+                        .incidence(Side::Hyperedge, h)
+                        .iter()
+                        .filter(|&&v| v_alive[v as usize])
+                        .count();
+                    if n < 2 {
+                        h_alive[h as usize] = false;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if v_alive.iter().all(|&a| !a) {
+            break;
+        }
+    }
+    core
+}
+
+/// Brandes single-source betweenness on the bipartite graph: returns
+/// `(vertex_deltas, hyperedge_deltas)`.
+pub fn bc_single_source(g: &Hypergraph, source: VertexId) -> (Vec<f64>, Vec<f64>) {
+    let nv = g.num_vertices();
+    let nh = g.num_hyperedges();
+    let n = nv + nh;
+    let node = |side: Side, id: u32| match side {
+        Side::Vertex => id as usize,
+        Side::Hyperedge => nv + id as usize,
+    };
+    let side_of = |x: usize| if x < nv { (Side::Vertex, x as u32) } else { (Side::Hyperedge, (x - nv) as u32) };
+    let mut dist = vec![i64::MAX; n];
+    let mut sigma = vec![0.0f64; n];
+    let mut order = Vec::with_capacity(n);
+    let s = node(Side::Vertex, source.raw());
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    let mut queue = VecDeque::from([s]);
+    while let Some(x) = queue.pop_front() {
+        order.push(x);
+        let (side, id) = side_of(x);
+        for &nb in g.incidence(side, id) {
+            let y = node(side.opposite(), nb);
+            if dist[y] == i64::MAX {
+                dist[y] = dist[x] + 1;
+                queue.push_back(y);
+            }
+            if dist[y] == dist[x] + 1 {
+                sigma[y] += sigma[x];
+            }
+        }
+    }
+    let mut delta = vec![0.0f64; n];
+    for &x in order.iter().rev() {
+        let (side, id) = side_of(x);
+        for &nb in g.incidence(side, id) {
+            let y = node(side.opposite(), nb);
+            if dist[y] == dist[x] + 1 {
+                delta[x] += sigma[x] / sigma[y] * (1.0 + delta[y]);
+            }
+        }
+    }
+    (delta[..nv].to_vec(), delta[nv..].to_vec())
+}
+
+/// Dijkstra with the [`Sssp`](crate::Sssp) hyperedge weights: returns
+/// per-vertex distances.
+pub fn sssp(g: &Hypergraph, source: VertexId) -> Vec<f64> {
+    #[derive(PartialEq)]
+    struct Item(f64, u32);
+    impl Eq for Item {}
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.0.total_cmp(&self.0) // min-heap
+        }
+    }
+    let mut dist = vec![f64::INFINITY; g.num_vertices()];
+    dist[source.index()] = 0.0;
+    let mut heap = BinaryHeap::from([Item(0.0, source.raw())]);
+    while let Some(Item(d, v)) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for &h in g.incidence(Side::Vertex, v) {
+            let w = crate::Sssp::weight(HyperedgeId::new(h));
+            for &u in g.incidence(Side::Hyperedge, h) {
+                if d + w < dist[u as usize] {
+                    dist[u as usize] = d + w;
+                    heap.push(Item(d + w, u));
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Dense adsorption reference matching [`Adsorption`](crate::Adsorption).
+pub fn adsorption(
+    g: &Hypergraph,
+    injection: f64,
+    continuation: f64,
+    seed_stride: u32,
+    iterations: usize,
+) -> Vec<f64> {
+    let nv = g.num_vertices();
+    let prior: Vec<f64> =
+        (0..nv as u32).map(|v| if v % seed_stride == 0 { 1.0 } else { 0.0 }).collect();
+    let mut vv = prior.clone();
+    let mut hv = vec![0.0; g.num_hyperedges()];
+    for _ in 0..iterations {
+        hv.fill(0.0);
+        for v in 0..nv as u32 {
+            let deg = g.vertex_degree(VertexId::new(v)).max(1) as f64;
+            for &h in g.incidence(Side::Vertex, v) {
+                hv[h as usize] += vv[v as usize] / deg;
+            }
+        }
+        vv.fill(0.0);
+        for h in 0..g.num_hyperedges() as u32 {
+            let hdeg = g.hyperedge_degree(HyperedgeId::new(h)).max(1) as f64;
+            for &v in g.incidence(Side::Hyperedge, h) {
+                let vdeg = g.vertex_degree(VertexId::new(v)).max(1) as f64;
+                vv[v as usize] +=
+                    injection * prior[v as usize] / vdeg + continuation * hv[h as usize] / hdeg;
+            }
+        }
+    }
+    vv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_bfs_fig1() {
+        let g = hypergraph::fig1_example();
+        let (vd, hd) = bfs(&g, VertexId::new(0));
+        assert_eq!(vd, vec![0.0, 4.0, 2.0, 4.0, 2.0, 4.0, 2.0]);
+        assert_eq!(hd, vec![1.0, 3.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn reference_cc_fig1() {
+        let g = hypergraph::fig1_example();
+        assert!(connected_components(&g).iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn reference_kcore_monotone_in_k() {
+        let g = hypergraph::generate::GeneratorConfig::new(200, 150).with_seed(1).generate();
+        let c2 = kcore(&g, 2);
+        let c3 = kcore(&g, 3);
+        for v in 0..g.num_vertices() {
+            assert!(!c3[v] || c2[v]);
+        }
+    }
+
+    #[test]
+    fn reference_bc_sums_are_positive_on_connected_inputs() {
+        let g = hypergraph::fig1_example();
+        let (vd, hd) = bc_single_source(&g, VertexId::new(0));
+        assert!(vd.iter().chain(&hd).all(|&x| x >= 0.0));
+        assert!(vd.iter().sum::<f64>() + hd.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn reference_sssp_source_is_zero() {
+        let g = hypergraph::generate::two_uniform_graph(50, 150, 1);
+        let d = sssp(&g, VertexId::new(0));
+        assert_eq!(d[0], 0.0);
+        assert!(d.iter().all(|&x| x >= 0.0));
+    }
+}

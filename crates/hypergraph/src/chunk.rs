@@ -1,0 +1,161 @@
+//! Chunk partitioning for multicore processing.
+//!
+//! Like Hygra (paper §II-A and §IV-B), hyperedges and vertices are logically
+//! divided into contiguous chunks assigned to cores. Chunks are balanced by
+//! *bipartite-edge count* (the unit of work), not by element count, so a
+//! handful of huge hyperedges does not skew one core's load.
+
+use crate::{Hypergraph, Side};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous range of element ids assigned to one core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Chunk {
+    /// First element id in the chunk (inclusive).
+    pub first: u32,
+    /// One past the last element id (exclusive).
+    pub last: u32,
+}
+
+impl Chunk {
+    /// Number of elements in the chunk.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.last - self.first) as usize
+    }
+
+    /// Returns `true` if the chunk holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.first == self.last
+    }
+
+    /// Returns `true` if `id` falls inside the chunk.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        (self.first..self.last).contains(&id)
+    }
+
+    /// Iterates the element ids of the chunk in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = u32> {
+        self.first..self.last
+    }
+}
+
+/// Partitions the `side` elements of `g` into `num_chunks` contiguous chunks,
+/// balanced by incident bipartite-edge count.
+///
+/// Every element belongs to exactly one chunk and chunks cover `0..n` in
+/// order. Some trailing chunks may be empty when there are fewer work items
+/// than chunks.
+///
+/// # Panics
+///
+/// Panics if `num_chunks == 0`.
+///
+/// ```
+/// use hypergraph::{chunk::partition, Side};
+/// let g = hypergraph::fig1_example();
+/// let chunks = partition(&g, Side::Hyperedge, 2);
+/// assert_eq!(chunks.len(), 2);
+/// assert_eq!(chunks[0].first, 0);
+/// assert_eq!(chunks.last().unwrap().last, 4);
+/// ```
+pub fn partition(g: &Hypergraph, side: Side, num_chunks: usize) -> Vec<Chunk> {
+    assert!(num_chunks > 0, "cannot partition into zero chunks");
+    let csr = g.csr_for(side);
+    let n = csr.len();
+    let total_work = csr.num_edges() as u64 + n as u64; // edge work + per-element overhead
+    let mut chunks = Vec::with_capacity(num_chunks);
+    let mut start = 0u32;
+    let mut work_done = 0u64;
+    let mut cursor = 0usize;
+    for c in 0..num_chunks {
+        // Work budget proportional to remaining chunks.
+        let target = total_work * (c as u64 + 1) / num_chunks as u64;
+        while cursor < n && work_done < target {
+            work_done += csr.degree(cursor) as u64 + 1;
+            cursor += 1;
+        }
+        let end = if c + 1 == num_chunks { n } else { cursor };
+        chunks.push(Chunk { first: start, last: end as u32 });
+        start = end as u32;
+        cursor = end;
+    }
+    chunks
+}
+
+/// Total bipartite-edge work in a chunk (used by load-balance tests and the
+/// simulator's per-core accounting).
+pub fn chunk_work(g: &Hypergraph, side: Side, chunk: &Chunk) -> usize {
+    let csr = g.csr_for(side);
+    chunk.ids().map(|id| csr.degree(id as usize)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig1_example;
+
+    #[test]
+    fn partition_covers_all_ids_without_overlap() {
+        let g = fig1_example();
+        for side in [Side::Vertex, Side::Hyperedge] {
+            for k in 1..=8 {
+                let chunks = partition(&g, side, k);
+                assert_eq!(chunks.len(), k);
+                assert_eq!(chunks[0].first, 0);
+                assert_eq!(chunks.last().unwrap().last as usize, g.num_on(side));
+                for w in chunks.windows(2) {
+                    assert_eq!(w[0].last, w[1].first, "chunks must be contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_is_everything() {
+        let g = fig1_example();
+        let chunks = partition(&g, Side::Hyperedge, 1);
+        assert_eq!(chunks, vec![Chunk { first: 0, last: 4 }]);
+    }
+
+    #[test]
+    fn more_chunks_than_elements_leaves_empties() {
+        let g = fig1_example();
+        let chunks = partition(&g, Side::Hyperedge, 10);
+        let total: usize = chunks.iter().map(Chunk::len).sum();
+        assert_eq!(total, 4);
+        assert!(chunks.iter().any(Chunk::is_empty));
+    }
+
+    #[test]
+    fn balance_is_reasonable_on_uniform_degrees() {
+        use crate::{HypergraphBuilder, VertexId};
+        let mut b = HypergraphBuilder::new(100);
+        for i in 0..50u32 {
+            b.add_hyperedge([i, i + 50].map(VertexId::new)).unwrap();
+        }
+        let g = b.build();
+        let chunks = partition(&g, Side::Hyperedge, 5);
+        for ch in &chunks {
+            let w = chunk_work(&g, Side::Hyperedge, ch);
+            assert_eq!(w, 20, "uniform degrees should split exactly, got {w}");
+        }
+    }
+
+    #[test]
+    fn chunk_helpers() {
+        let c = Chunk { first: 2, last: 5 };
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(2) && c.contains(4) && !c.contains(5));
+        assert_eq!(c.ids().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero chunks")]
+    fn zero_chunks_panics() {
+        let g = fig1_example();
+        let _ = partition(&g, Side::Vertex, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Directed hypergraphs.
+//!
+//! Per the paper (§II-A), the incident vertices of a *directed* hyperedge
+//! divide into a **source set** and a **destination set**; ChGraph supports
+//! both directed and undirected inputs. In the bipartite-CSR encoding this
+//! is natural: the vertex-side CSR lists, for each vertex, the hyperedges it
+//! *sources* (the `HF` edges of Algorithm 1), while the hyperedge-side CSR
+//! lists each hyperedge's *destination* vertices (the `VF` edges). The two
+//! sides are no longer transposes of one another, and every runtime —
+//! index-ordered or chain-driven — then executes directed semantics with no
+//! changes: `HF` flows only out of source vertices, `VF` only into
+//! destination vertices, and PageRank's `getOutDegree` is exactly the
+//! CSR degree.
+
+use crate::{Csr, Hypergraph, VertexId};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`DirectedHypergraphBuilder::add_hyperedge`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BuildDirectedError {
+    /// A source or destination vertex id was out of range.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// The declared number of vertices.
+        num_vertices: usize,
+    },
+    /// Both vertex sets were empty after deduplication.
+    EmptyHyperedge,
+}
+
+impl fmt::Display for BuildDirectedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildDirectedError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} is out of range for {num_vertices} vertices")
+            }
+            BuildDirectedError::EmptyHyperedge => {
+                f.write_str("directed hyperedge has neither sources nor destinations")
+            }
+        }
+    }
+}
+
+impl Error for BuildDirectedError {}
+
+/// Builder for directed hypergraphs.
+///
+/// The finished value is an ordinary [`Hypergraph`] whose two CSR sides
+/// encode the direction (see the module docs), so it runs on every runtime
+/// unchanged.
+///
+/// ```
+/// use hypergraph::directed::DirectedHypergraphBuilder;
+/// use hypergraph::VertexId;
+///
+/// let mut b = DirectedHypergraphBuilder::new(4);
+/// // h0: {v0} -> {v1, v2}
+/// b.add_hyperedge([0].map(VertexId::new), [1, 2].map(VertexId::new))?;
+/// let g = b.build();
+/// // v0 sources h0; v1 does not.
+/// assert_eq!(g.incident_hyperedges(VertexId::new(0)), &[0]);
+/// assert_eq!(g.incident_hyperedges(VertexId::new(1)), &[] as &[u32]);
+/// // h0's destinations are v1 and v2.
+/// assert_eq!(g.incident_vertices(hypergraph::HyperedgeId::new(0)), &[1, 2]);
+/// # Ok::<(), hypergraph::directed::BuildDirectedError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DirectedHypergraphBuilder {
+    num_vertices: usize,
+    /// Per-hyperedge destination vertices (hyperedge CSR rows).
+    destinations: Vec<Vec<u32>>,
+    /// Per-vertex sourced hyperedges (vertex CSR rows).
+    sourced: Vec<Vec<u32>>,
+}
+
+impl DirectedHypergraphBuilder {
+    /// Creates a builder over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        DirectedHypergraphBuilder {
+            num_vertices,
+            destinations: Vec::new(),
+            sourced: vec![Vec::new(); num_vertices],
+        }
+    }
+
+    /// Number of hyperedges added so far.
+    pub fn num_hyperedges(&self) -> usize {
+        self.destinations.len()
+    }
+
+    /// Appends a directed hyperedge with the given source and destination
+    /// vertex sets (either may repeat ids; duplicates are dropped; a vertex
+    /// may appear in both sets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildDirectedError::VertexOutOfRange`] for out-of-range
+    /// ids, and [`BuildDirectedError::EmptyHyperedge`] when both sets end up
+    /// empty.
+    pub fn add_hyperedge<S, D>(&mut self, sources: S, destinations: D) -> Result<(), BuildDirectedError>
+    where
+        S: IntoIterator<Item = VertexId>,
+        D: IntoIterator<Item = VertexId>,
+    {
+        let h = self.destinations.len() as u32;
+        let mut dst_row = Vec::new();
+        let mut touched_sources = Vec::new();
+        for v in sources {
+            if v.index() >= self.num_vertices {
+                // Roll back the source registrations of this hyperedge.
+                for &u in &touched_sources {
+                    self.sourced[u as usize].pop();
+                }
+                return Err(BuildDirectedError::VertexOutOfRange {
+                    vertex: v,
+                    num_vertices: self.num_vertices,
+                });
+            }
+            if self.sourced[v.index()].last() != Some(&h) {
+                self.sourced[v.index()].push(h);
+                touched_sources.push(v.raw());
+            }
+        }
+        let mut result = Ok(());
+        for v in destinations {
+            if v.index() >= self.num_vertices {
+                result = Err(BuildDirectedError::VertexOutOfRange {
+                    vertex: v,
+                    num_vertices: self.num_vertices,
+                });
+                break;
+            }
+            if !dst_row.contains(&v.raw()) {
+                dst_row.push(v.raw());
+            }
+        }
+        if result.is_ok() && dst_row.is_empty() && touched_sources.is_empty() {
+            result = Err(BuildDirectedError::EmptyHyperedge);
+        }
+        if result.is_err() {
+            for &u in &touched_sources {
+                self.sourced[u as usize].pop();
+            }
+            return result;
+        }
+        self.destinations.push(dst_row);
+        Ok(())
+    }
+
+    /// Finishes construction. The resulting [`Hypergraph`]'s hyperedge CSR
+    /// holds destination sets and its vertex CSR holds sourced hyperedges.
+    pub fn build(self) -> Hypergraph {
+        let hyperedge_csr = Csr::from_adjacency(self.destinations);
+        let vertex_csr = Csr::from_adjacency(self.sourced);
+        Hypergraph::from_directed_csr(hyperedge_csr, vertex_csr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HyperedgeId;
+
+    /// A three-stage directed pipeline: v0 -> h0 -> v1 -> h1 -> v2.
+    fn pipeline() -> Hypergraph {
+        let mut b = DirectedHypergraphBuilder::new(3);
+        b.add_hyperedge([VertexId::new(0)], [VertexId::new(1)]).unwrap();
+        b.add_hyperedge([VertexId::new(1)], [VertexId::new(2)]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn direction_is_encoded_in_the_csrs() {
+        let g = pipeline();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_hyperedges(), 2);
+        // v1 sources only h1, even though it is a destination of h0.
+        assert_eq!(g.incident_hyperedges(VertexId::new(1)), &[1]);
+        assert_eq!(g.incident_vertices(HyperedgeId::new(0)), &[1]);
+        // v2 sources nothing.
+        assert_eq!(g.incident_hyperedges(VertexId::new(2)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn vertex_in_both_sets_is_allowed() {
+        let mut b = DirectedHypergraphBuilder::new(2);
+        b.add_hyperedge([0, 1].map(VertexId::new), [0].map(VertexId::new)).unwrap();
+        let g = b.build();
+        assert_eq!(g.incident_hyperedges(VertexId::new(0)), &[0]);
+        assert_eq!(g.incident_vertices(HyperedgeId::new(0)), &[0]);
+    }
+
+    #[test]
+    fn out_of_range_rolls_back_cleanly() {
+        let mut b = DirectedHypergraphBuilder::new(2);
+        let err = b
+            .add_hyperedge([0, 5].map(VertexId::new), [1].map(VertexId::new))
+            .unwrap_err();
+        assert!(matches!(err, BuildDirectedError::VertexOutOfRange { .. }));
+        assert_eq!(b.num_hyperedges(), 0);
+        // v0's speculative registration must have been rolled back.
+        b.add_hyperedge([VertexId::new(0)], [VertexId::new(1)]).unwrap();
+        let g = b.build();
+        assert_eq!(g.incident_hyperedges(VertexId::new(0)), &[0]);
+    }
+
+    #[test]
+    fn empty_both_sets_rejected() {
+        let mut b = DirectedHypergraphBuilder::new(2);
+        assert_eq!(
+            b.add_hyperedge([], []),
+            Err(BuildDirectedError::EmptyHyperedge)
+        );
+    }
+
+    #[test]
+    fn source_only_and_destination_only_hyperedges() {
+        let mut b = DirectedHypergraphBuilder::new(3);
+        b.add_hyperedge([VertexId::new(0)], []).unwrap(); // pure sink
+        b.add_hyperedge([], [VertexId::new(1)]).unwrap(); // pure source
+        let g = b.build();
+        assert_eq!(g.incident_vertices(HyperedgeId::new(0)), &[] as &[u32]);
+        assert_eq!(g.incident_vertices(HyperedgeId::new(1)), &[1]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Active element sets (frontiers) for iterative hypergraph processing.
+
+use serde::{Deserialize, Serialize};
+
+/// A frontier: the set of active vertices or hyperedges of one computation
+/// phase (`FrontierV` / `FrontierE` in Algorithm 1 of the paper).
+///
+/// Represented as a dense bitmap plus a population count, matching the bitmap
+/// the ChGraph hardware walks in its *root setting* stage (§V-B). Iteration
+/// order is ascending id, which is exactly the index-ordered schedule of
+/// Hygra-style systems.
+///
+/// ```
+/// use hypergraph::Frontier;
+/// let mut f = Frontier::empty(8);
+/// f.insert(3);
+/// f.insert(5);
+/// assert_eq!(f.len(), 2);
+/// assert!(f.contains(3));
+/// assert_eq!(f.iter().collect::<Vec<_>>(), vec![3, 5]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Frontier {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl Frontier {
+    /// Creates an empty frontier over ids `0..universe`.
+    pub fn empty(universe: usize) -> Self {
+        Frontier { words: vec![0; universe.div_ceil(64)], universe, len: 0 }
+    }
+
+    /// Creates a frontier containing every id in `0..universe` (e.g. the
+    /// all-active PageRank frontier).
+    pub fn full(universe: usize) -> Self {
+        let mut f = Frontier::empty(universe);
+        for id in 0..universe {
+            f.insert(id as u32);
+        }
+        f
+    }
+
+    /// Creates a frontier from an iterator of ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is `>= universe`.
+    pub fn from_iter<I: IntoIterator<Item = u32>>(universe: usize, ids: I) -> Self {
+        let mut f = Frontier::empty(universe);
+        for id in ids {
+            f.insert(id);
+        }
+        f
+    }
+
+    /// Size of the id universe.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of active ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no ids are active.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` if `id` is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= universe`.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        assert!((id as usize) < self.universe, "id {id} outside universe {}", self.universe);
+        self.words[id as usize / 64] >> (id % 64) & 1 == 1
+    }
+
+    /// Inserts `id`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= universe`.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        assert!((id as usize) < self.universe, "id {id} outside universe {}", self.universe);
+        let word = &mut self.words[id as usize / 64];
+        let mask = 1u64 << (id % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `id`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= universe`.
+    #[inline]
+    pub fn remove(&mut self, id: u32) -> bool {
+        assert!((id as usize) < self.universe, "id {id} outside universe {}", self.universe);
+        let word = &mut self.words[id as usize / 64];
+        let mask = 1u64 << (id % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all ids, keeping the universe.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates active ids in ascending order (the index-ordered schedule).
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { frontier: self, word_idx: 0, bits: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Collects active ids in ascending order.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Number of 64-bit words backing the bitmap (the quantity of bitmap
+    /// memory traffic the simulator charges).
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+impl Extend<u32> for Frontier {
+    fn extend<I: IntoIterator<Item = u32>>(&mut self, ids: I) {
+        for id in ids {
+            self.insert(id);
+        }
+    }
+}
+
+/// Ascending-order iterator over a [`Frontier`]'s active ids.
+#[derive(Clone, Debug)]
+pub struct Iter<'a> {
+    frontier: &'a Frontier,
+    word_idx: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.bits != 0 {
+                let bit = self.bits.trailing_zeros();
+                self.bits &= self.bits - 1;
+                return Some((self.word_idx * 64) as u32 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.frontier.words.len() {
+                return None;
+            }
+            self.bits = self.frontier.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = Frontier::empty(100);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let f = Frontier::full(100);
+        assert_eq!(f.len(), 100);
+        assert!(f.contains(0));
+        assert!(f.contains(99));
+    }
+
+    #[test]
+    fn insert_remove_idempotent() {
+        let mut f = Frontier::empty(70);
+        assert!(f.insert(65));
+        assert!(!f.insert(65));
+        assert_eq!(f.len(), 1);
+        assert!(f.remove(65));
+        assert!(!f.remove(65));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn iter_is_ascending_across_word_boundaries() {
+        let ids = [0u32, 1, 63, 64, 65, 127, 128, 199];
+        let f = Frontier::from_iter(200, ids.iter().copied());
+        assert_eq!(f.to_vec(), ids);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = Frontier::full(10);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.universe(), 10);
+        assert!(!f.contains(5));
+    }
+
+    #[test]
+    fn extend_inserts_all() {
+        let mut f = Frontier::empty(10);
+        f.extend([1, 3, 3, 5]);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn contains_panics_out_of_range() {
+        let f = Frontier::empty(4);
+        let _ = f.contains(4);
+    }
+
+    #[test]
+    fn zero_universe_is_fine() {
+        let f = Frontier::empty(0);
+        assert!(f.is_empty());
+        assert_eq!(f.iter().count(), 0);
+        assert_eq!(f.num_words(), 0);
+    }
+}

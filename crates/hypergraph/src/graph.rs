@@ -1,0 +1,229 @@
+//! The immutable bipartite-CSR hypergraph.
+
+use crate::{Csr, HyperedgeId, Side, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable hypergraph in the bipartite representation (paper §II-A).
+///
+/// Two CSR structures are kept (Fig. 4(c)):
+///
+/// - the **hyperedge CSR**: `hyperedge_offset` / `incident_vertex`, mapping
+///   each hyperedge to its incident vertices;
+/// - the **vertex CSR**: `vertex_offset` / `incident_hyperedge`, mapping each
+///   vertex to its incident hyperedges.
+///
+/// Values (`hyperedge_value` / `vertex_value`) are owned by the runtimes, not
+/// the topology, so a single `Hypergraph` can back many concurrent algorithm
+/// executions.
+///
+/// Construct via [`HypergraphBuilder`](crate::HypergraphBuilder) or the
+/// generators in [`generate`](crate::generate).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Hypergraph {
+    hyperedge_csr: Csr,
+    vertex_csr: Csr,
+}
+
+impl Hypergraph {
+    /// Assembles a hypergraph from its two CSR sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides disagree on the bipartite edge count, or if
+    /// either side references an id out of range of the other.
+    pub fn from_csr(hyperedge_csr: Csr, vertex_csr: Csr) -> Self {
+        assert_eq!(
+            hyperedge_csr.num_edges(),
+            vertex_csr.num_edges(),
+            "bipartite edge count mismatch between CSR sides"
+        );
+        Hypergraph::from_directed_csr(hyperedge_csr, vertex_csr)
+    }
+
+    /// Assembles a hypergraph whose two CSR sides are **not** required to be
+    /// transposes of one another — the directed encoding, where the
+    /// hyperedge CSR holds destination vertex sets and the vertex CSR holds
+    /// sourced hyperedges (see [`directed`](crate::directed)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side references an id out of range of the other.
+    pub fn from_directed_csr(hyperedge_csr: Csr, vertex_csr: Csr) -> Self {
+        let nv = vertex_csr.len();
+        let nh = hyperedge_csr.len();
+        assert!(
+            hyperedge_csr.targets().iter().all(|&v| (v as usize) < nv),
+            "hyperedge CSR references a vertex out of range"
+        );
+        assert!(
+            vertex_csr.targets().iter().all(|&h| (h as usize) < nh),
+            "vertex CSR references a hyperedge out of range"
+        );
+        Hypergraph { hyperedge_csr, vertex_csr }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_csr.len()
+    }
+
+    /// Number of hyperedges `|H|`.
+    #[inline]
+    pub fn num_hyperedges(&self) -> usize {
+        self.hyperedge_csr.len()
+    }
+
+    /// Number of elements on `side`.
+    #[inline]
+    pub fn num_on(&self, side: Side) -> usize {
+        match side {
+            Side::Vertex => self.num_vertices(),
+            Side::Hyperedge => self.num_hyperedges(),
+        }
+    }
+
+    /// Number of bipartite edges (`#BEdges` in Table II).
+    #[inline]
+    pub fn num_bipartite_edges(&self) -> usize {
+        self.hyperedge_csr.num_edges()
+    }
+
+    /// The incident vertices of hyperedge `h` (`N(h)`), as raw ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    #[inline]
+    pub fn incident_vertices(&self, h: HyperedgeId) -> &[u32] {
+        self.hyperedge_csr.neighbors(h.index())
+    }
+
+    /// The incident hyperedges of vertex `v` (`N(v)`), as raw ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn incident_hyperedges(&self, v: VertexId) -> &[u32] {
+        self.vertex_csr.neighbors(v.index())
+    }
+
+    /// Degree of hyperedge `h`: `deg(h) = |N(h)|`.
+    #[inline]
+    pub fn hyperedge_degree(&self, h: HyperedgeId) -> usize {
+        self.hyperedge_csr.degree(h.index())
+    }
+
+    /// Degree of vertex `v`: `deg(v) = |N(v)|`.
+    #[inline]
+    pub fn vertex_degree(&self, v: VertexId) -> usize {
+        self.vertex_csr.degree(v.index())
+    }
+
+    /// The CSR whose *sources* live on `side` (its rows are `side` elements).
+    ///
+    /// `csr_for(Side::Hyperedge)` is the hyperedge CSR
+    /// (`hyperedge_offset`/`incident_vertex`); `csr_for(Side::Vertex)` is the
+    /// vertex CSR.
+    #[inline]
+    pub fn csr_for(&self, side: Side) -> &Csr {
+        match side {
+            Side::Vertex => &self.vertex_csr,
+            Side::Hyperedge => &self.hyperedge_csr,
+        }
+    }
+
+    /// Incidence list of element `id` on `side`, as raw opposite-side ids.
+    #[inline]
+    pub fn incidence(&self, side: Side, id: u32) -> &[u32] {
+        self.csr_for(side).neighbors(id as usize)
+    }
+
+    /// Degree of element `id` on `side`.
+    #[inline]
+    pub fn degree(&self, side: Side, id: u32) -> usize {
+        self.csr_for(side).degree(id as usize)
+    }
+
+    /// Returns `true` if hyperedges `a` and `b` are *overlapped*, i.e. share
+    /// at least one incident vertex (paper §II-A).
+    ///
+    /// This is a reference implementation used by tests; production overlap
+    /// discovery happens in the `oag` crate.
+    pub fn hyperedges_overlap(&self, a: HyperedgeId, b: HyperedgeId) -> bool {
+        let (sa, sb) = (self.incident_vertices(a), self.incident_vertices(b));
+        sa.iter().any(|v| sb.contains(v))
+    }
+
+    /// Mean hyperedge degree (bipartite edges per hyperedge).
+    pub fn mean_hyperedge_degree(&self) -> f64 {
+        if self.num_hyperedges() == 0 {
+            return 0.0;
+        }
+        self.num_bipartite_edges() as f64 / self.num_hyperedges() as f64
+    }
+
+    /// Approximate in-memory size in bytes of the topology (both CSR sides),
+    /// the quantity Hygra stores; used as the baseline for the OAG storage
+    /// overhead of Fig. 21(b).
+    pub fn size_bytes(&self) -> usize {
+        self.hyperedge_csr.size_bytes() + self.vertex_csr.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig1_example;
+
+    #[test]
+    fn fig1_degrees_match_paper() {
+        let g = fig1_example();
+        // deg(h0) = 3, deg(v0) = 2 (paper §II-A).
+        assert_eq!(g.hyperedge_degree(HyperedgeId::new(0)), 3);
+        assert_eq!(g.vertex_degree(VertexId::new(0)), 2);
+    }
+
+    #[test]
+    fn fig1_overlap_matches_paper() {
+        let g = fig1_example();
+        // h0 and h2 share {v0, v4}.
+        assert!(g.hyperedges_overlap(HyperedgeId::new(0), HyperedgeId::new(2)));
+        // h0 and h1 share nothing.
+        assert!(!g.hyperedges_overlap(HyperedgeId::new(0), HyperedgeId::new(1)));
+        assert!(g.hyperedges_overlap(HyperedgeId::new(1), HyperedgeId::new(3)));
+    }
+
+    #[test]
+    fn side_accessors_agree_with_direct_ones() {
+        let g = fig1_example();
+        assert_eq!(g.num_on(Side::Vertex), g.num_vertices());
+        assert_eq!(g.num_on(Side::Hyperedge), g.num_hyperedges());
+        assert_eq!(g.incidence(Side::Hyperedge, 0), g.incident_vertices(HyperedgeId::new(0)));
+        assert_eq!(g.incidence(Side::Vertex, 5), g.incident_hyperedges(VertexId::new(5)));
+        assert_eq!(g.degree(Side::Vertex, 0), 2);
+    }
+
+    #[test]
+    fn mean_degree() {
+        let g = fig1_example();
+        assert!((g.mean_hyperedge_degree() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge count mismatch")]
+    fn from_csr_rejects_mismatched_sides() {
+        let h = Csr::from_adjacency(vec![vec![0, 1]]);
+        let v = Csr::from_adjacency(vec![vec![0]]);
+        let _ = Hypergraph::from_csr(h, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_csr_rejects_dangling_vertex() {
+        let h = Csr::from_adjacency(vec![vec![5]]);
+        let v = Csr::from_adjacency(vec![vec![0]]);
+        let _ = Hypergraph::from_csr(h, v);
+    }
+}

@@ -1,0 +1,182 @@
+//! Strongly-typed identifiers for the two element kinds of a hypergraph.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex in a [`Hypergraph`](crate::Hypergraph).
+///
+/// Vertex ids are dense: a hypergraph with `n` vertices uses ids `0..n`.
+///
+/// ```
+/// use hypergraph::VertexId;
+/// let v = VertexId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct VertexId(u32);
+
+/// Identifier of a hyperedge in a [`Hypergraph`](crate::Hypergraph).
+///
+/// Hyperedge ids are dense: a hypergraph with `m` hyperedges uses ids `0..m`.
+///
+/// ```
+/// use hypergraph::HyperedgeId;
+/// let h = HyperedgeId::new(2);
+/// assert_eq!(h.index(), 2);
+/// assert_eq!(format!("{h}"), "h2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct HyperedgeId(u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $letter:literal) => {
+        impl $ty {
+            /// Creates an id from its dense index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the dense index as a `usize`, suitable for array indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Creates an id from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index exceeds u32::MAX"))
+            }
+        }
+
+        impl From<u32> for $ty {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$ty> for u32 {
+            #[inline]
+            fn from(id: $ty) -> u32 {
+                id.0
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($letter, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($letter, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(VertexId, "v");
+impl_id!(HyperedgeId, "h");
+
+/// The two element kinds of a hypergraph.
+///
+/// Hypergraph processing alternates between *hyperedge computation* (active
+/// vertices update incident hyperedges) and *vertex computation* (active
+/// hyperedges update incident vertices); many structures in this workspace are
+/// parameterized by which side they refer to.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Side {
+    /// The vertex side (`V`).
+    Vertex,
+    /// The hyperedge side (`H`).
+    Hyperedge,
+}
+
+impl Side {
+    /// Returns the opposite side.
+    ///
+    /// ```
+    /// use hypergraph::Side;
+    /// assert_eq!(Side::Vertex.opposite(), Side::Hyperedge);
+    /// ```
+    #[inline]
+    pub const fn opposite(self) -> Side {
+        match self {
+            Side::Vertex => Side::Hyperedge,
+            Side::Hyperedge => Side::Vertex,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Vertex => f.write_str("vertex"),
+            Side::Hyperedge => f.write_str("hyperedge"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(VertexId::from(42u32), v);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(VertexId::from_index(42), v);
+    }
+
+    #[test]
+    fn hyperedge_id_roundtrip() {
+        let h = HyperedgeId::new(7);
+        assert_eq!(h.index(), 7);
+        assert_eq!(HyperedgeId::from_index(7), h);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let set: HashSet<VertexId> = (0..10).map(VertexId::new).collect();
+        assert_eq!(set.len(), 10);
+        assert!(VertexId::new(1) < VertexId::new(2));
+    }
+
+    #[test]
+    fn display_and_debug_prefixes() {
+        assert_eq!(format!("{}", VertexId::new(5)), "v5");
+        assert_eq!(format!("{:?}", HyperedgeId::new(5)), "h5");
+        assert_eq!(format!("{}", Side::Hyperedge), "hyperedge");
+    }
+
+    #[test]
+    fn side_opposite_is_involutive() {
+        for side in [Side::Vertex, Side::Hyperedge] {
+            assert_eq!(side.opposite().opposite(), side);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn from_index_panics_on_overflow() {
+        let _ = VertexId::from_index(u32::MAX as usize + 1);
+    }
+}

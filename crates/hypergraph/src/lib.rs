@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! Hypergraph data model for the ChGraph (HPCA'22) reproduction.
+//!
+//! A hypergraph `G = <V, H>` consists of a set of vertices `V` and a set of
+//! hyperedges `H`, where each hyperedge connects an arbitrary number of
+//! vertices. Following the paper (§II-A, Fig. 4), hypergraphs are stored in
+//! the **bipartite representation**: two compressed-sparse-row (CSR)
+//! structures, one mapping each hyperedge to its incident vertices and one
+//! mapping each vertex to its incident hyperedges.
+//!
+//! This crate provides:
+//!
+//! - [`Hypergraph`] — the immutable bipartite-CSR hypergraph, built through
+//!   [`HypergraphBuilder`];
+//! - [`Frontier`] — active vertex/hyperedge sets (bitmap + count) used by the
+//!   iterative processing procedure of Algorithm 1;
+//! - [`chunk`] — contiguous, load-balanced chunk partitioning for multicore
+//!   processing;
+//! - [`generate`] — deterministic synthetic hypergraph generators with
+//!   controllable overlap, standing in for the SNAP/KONECT datasets;
+//! - [`datasets`] — the five named stand-ins for Table II (FS, OK, LJ, WEB,
+//!   OG) plus the two ordinary graphs of the generality study (AZ, PK);
+//! - [`stats`] — overlap ("sharable ratio") statistics reproducing Fig. 8.
+//!
+//! # Example
+//!
+//! ```
+//! use hypergraph::{HypergraphBuilder, VertexId};
+//!
+//! // The running example of the paper's Fig. 1: 7 vertices, 4 hyperedges.
+//! let mut b = HypergraphBuilder::new(7);
+//! b.add_hyperedge([0, 4, 6].map(VertexId::new))?; // h0
+//! b.add_hyperedge([1, 2, 3, 5].map(VertexId::new))?; // h1
+//! b.add_hyperedge([0, 2, 4].map(VertexId::new))?; // h2
+//! b.add_hyperedge([1, 3].map(VertexId::new))?; // h3
+//! let g = b.build();
+//! assert_eq!(g.num_vertices(), 7);
+//! assert_eq!(g.num_hyperedges(), 4);
+//! assert_eq!(g.hyperedge_degree(hypergraph::HyperedgeId::new(0)), 3);
+//! assert_eq!(g.vertex_degree(VertexId::new(0)), 2); // v0 in h0 and h2
+//! # Ok::<(), hypergraph::BuildHypergraphError>(())
+//! ```
+
+mod build;
+pub mod chunk;
+pub mod directed;
+mod csr;
+pub mod datasets;
+mod frontier;
+pub mod generate;
+mod graph;
+mod ids;
+pub mod io;
+pub mod partition;
+pub mod stats;
+
+pub use build::{BuildHypergraphError, HypergraphBuilder};
+pub use csr::Csr;
+pub use frontier::Frontier;
+pub use graph::Hypergraph;
+pub use ids::{HyperedgeId, Side, VertexId};
+
+/// Constructs the 7-vertex, 4-hyperedge example hypergraph of the paper's
+/// Fig. 1. Used pervasively in tests and doc examples.
+///
+/// ```
+/// let g = hypergraph::fig1_example();
+/// assert_eq!(g.num_bipartite_edges(), 12);
+/// ```
+pub fn fig1_example() -> Hypergraph {
+    let mut b = HypergraphBuilder::new(7);
+    for he in [&[0u32, 4, 6][..], &[1, 2, 3, 5], &[0, 2, 4], &[1, 3]] {
+        b.add_hyperedge(he.iter().copied().map(VertexId::new))
+            .expect("fig1 hyperedges are valid");
+    }
+    b.build()
+}

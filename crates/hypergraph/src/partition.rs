@@ -1,0 +1,255 @@
+//! Overlap-aware hyperedge partitioning.
+//!
+//! The GLA model is "compatible and flexible with other partitioning
+//! methods" (paper §IV-B, citing hypergraph partitioners): since per-core
+//! chunks carry their own OAGs, any partitioner that co-locates overlapping
+//! hyperedges increases the chains available to each core. This module
+//! provides a single-pass **streaming partitioner** in the spirit of linear
+//! deterministic greedy (LDG) / Social Hash: each hyperedge joins the part
+//! where most of its vertices' previous hyperedges went, discounted by how
+//! full the part already is — and a renumbering step that turns any
+//! assignment into contiguous id ranges, the form the chunked runtimes
+//! consume.
+
+use crate::{Csr, Hypergraph, Side};
+
+/// Assigns every hyperedge to one of `num_parts` parts with a single
+/// streaming pass (LDG-style): part affinity is the number of the
+/// hyperedge's vertices whose most recent hyperedge landed in that part,
+/// scaled by the part's remaining capacity.
+///
+/// Returns one part id (`0..num_parts`) per hyperedge. Deterministic.
+///
+/// # Panics
+///
+/// Panics if `num_parts == 0`.
+///
+/// ```
+/// use hypergraph::partition::streaming_partition;
+/// let g = hypergraph::fig1_example();
+/// let parts = streaming_partition(&g, 2);
+/// assert_eq!(parts.len(), 4);
+/// assert!(parts.iter().all(|&p| p < 2));
+/// // h0 and h2 share two vertices: the partitioner keeps them together.
+/// assert_eq!(parts[0], parts[2]);
+/// ```
+pub fn streaming_partition(g: &Hypergraph, num_parts: usize) -> Vec<u32> {
+    assert!(num_parts > 0, "cannot partition into zero parts");
+    let nh = g.num_hyperedges();
+    let capacity = nh.div_ceil(num_parts) + 1;
+    let mut assignment = vec![0u32; nh];
+    let mut part_size = vec![0usize; num_parts];
+    // For each vertex: the part of the last hyperedge that contained it.
+    let mut last_part = vec![u32::MAX; g.num_vertices()];
+    let mut votes = vec![0u32; num_parts];
+    for h in 0..nh as u32 {
+        votes.fill(0);
+        for &v in g.incidence(Side::Hyperedge, h) {
+            let p = last_part[v as usize];
+            if p != u32::MAX {
+                votes[p as usize] += 1;
+            }
+        }
+        // LDG score: affinity * remaining-capacity fraction; ties go to the
+        // emptiest part, then the lowest id (deterministic).
+        let mut best = 0usize;
+        let mut best_score = f64::MIN;
+        for p in 0..num_parts {
+            let slack = 1.0 - part_size[p] as f64 / capacity as f64;
+            if slack <= 0.0 {
+                continue;
+            }
+            let score = (votes[p] as f64 + 0.01) * slack;
+            if score > best_score + 1e-12
+                || (score > best_score - 1e-12 && part_size[p] < part_size[best])
+            {
+                best = p;
+                best_score = score;
+            }
+        }
+        assignment[h as usize] = best as u32;
+        part_size[best] += 1;
+        for &v in g.incidence(Side::Hyperedge, h) {
+            last_part[v as usize] = best as u32;
+        }
+    }
+    assignment
+}
+
+/// Renumbers hyperedges so each part of `assignment` becomes one contiguous
+/// id range (parts in ascending order, original relative order preserved
+/// within each part), returning the reordered hypergraph and the mapping
+/// `new_id[old_id]`.
+///
+/// Only valid for undirected hypergraphs (the vertex side is rebuilt as the
+/// transpose).
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != g.num_hyperedges()`.
+pub fn apply_hyperedge_partition(g: &Hypergraph, assignment: &[u32]) -> (Hypergraph, Vec<u32>) {
+    assert_eq!(assignment.len(), g.num_hyperedges(), "one part per hyperedge");
+    let num_parts = assignment.iter().copied().max().map_or(1, |m| m as usize + 1);
+    // Stable counting sort of hyperedges by part.
+    let mut part_start = vec![0usize; num_parts + 1];
+    for &p in assignment {
+        part_start[p as usize + 1] += 1;
+    }
+    for p in 1..=num_parts {
+        part_start[p] += part_start[p - 1];
+    }
+    let mut cursor = part_start[..num_parts].to_vec();
+    let mut new_id = vec![0u32; g.num_hyperedges()];
+    let mut rows: Vec<Vec<u32>> = vec![Vec::new(); g.num_hyperedges()];
+    for old in 0..g.num_hyperedges() {
+        let p = assignment[old] as usize;
+        let slot = cursor[p];
+        cursor[p] += 1;
+        new_id[old] = slot as u32;
+        rows[slot] = g.incidence(Side::Hyperedge, old as u32).to_vec();
+    }
+    let hyperedge_csr = Csr::from_adjacency(rows);
+    let vertex_csr = hyperedge_csr.transpose(g.num_vertices());
+    (Hypergraph::from_csr(hyperedge_csr, vertex_csr), new_id)
+}
+
+/// Fraction of overlapped hyperedge pairs (sharing at least `w_min`
+/// vertices) whose two endpoints land in the same part — the partitioner's
+/// quality metric for chain locality. Quadratic per shared vertex; intended
+/// for evaluation and tests.
+pub fn co_location_rate(g: &Hypergraph, assignment: &[u32], w_min: usize) -> f64 {
+    let mut together = 0u64;
+    let mut total = 0u64;
+    let mut weight = vec![0u32; g.num_hyperedges()];
+    let mut touched = Vec::new();
+    for a in 0..g.num_hyperedges() as u32 {
+        for &v in g.incidence(Side::Hyperedge, a) {
+            for &b in g.incidence(Side::Vertex, v) {
+                if b > a {
+                    if weight[b as usize] == 0 {
+                        touched.push(b);
+                    }
+                    weight[b as usize] += 1;
+                }
+            }
+        }
+        for &b in &touched {
+            if weight[b as usize] as usize >= w_min {
+                total += 1;
+                if assignment[a as usize] == assignment[b as usize] {
+                    together += 1;
+                }
+            }
+            weight[b as usize] = 0;
+        }
+        touched.clear();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        together as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GeneratorConfig;
+
+    /// A family-structured input with all id locality destroyed, so
+    /// contiguous chunking is blind to families — the case partitioners
+    /// exist for.
+    fn shuffled_families() -> Hypergraph {
+        let g = GeneratorConfig::new(6_000, 3_000)
+            .with_seed(17)
+            .with_family_range(6, 48)
+            .with_member_prob(0.85)
+            .generate();
+        global_shuffle(&g, 99)
+    }
+
+    /// Destroys all id locality: rebuilds `g` with hyperedges in a seeded
+    /// global random order (the adversarial input partitioners exist for).
+    fn global_shuffle(g: &Hypergraph, seed: u64) -> Hypergraph {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut order: Vec<u32> = (0..g.num_hyperedges() as u32).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut b = crate::HypergraphBuilder::new(g.num_vertices());
+        for &h in &order {
+            b.add_hyperedge(
+                g.incidence(Side::Hyperedge, h).iter().map(|&v| crate::VertexId::new(v)),
+            )
+            .expect("copied hyperedges are valid");
+        }
+        b.build()
+    }
+
+
+    #[test]
+    fn partition_is_balanced() {
+        let g = shuffled_families();
+        for k in [2usize, 4, 16] {
+            let parts = streaming_partition(&g, k);
+            let mut sizes = vec![0usize; k];
+            for &p in &parts {
+                sizes[p as usize] += 1;
+            }
+            let cap = g.num_hyperedges().div_ceil(k) + 1;
+            for (p, &s) in sizes.iter().enumerate() {
+                assert!(s <= cap, "part {p} holds {s} > capacity {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioner_co_locates_overlapping_hyperedges() {
+        let g = shuffled_families();
+        let k = 16;
+        let smart = streaming_partition(&g, k);
+        // Contiguous chunking of the shuffled input as the baseline.
+        let chunk = g.num_hyperedges().div_ceil(k);
+        let contiguous: Vec<u32> =
+            (0..g.num_hyperedges()).map(|h| (h / chunk) as u32).collect();
+        let smart_rate = co_location_rate(&g, &smart, 3);
+        let contiguous_rate = co_location_rate(&g, &contiguous, 3);
+        assert!(
+            smart_rate > contiguous_rate + 0.2,
+            "streaming partitioner must co-locate families: {smart_rate:.3} vs {contiguous_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn renumbering_preserves_structure_and_contiguity() {
+        let g = shuffled_families();
+        let parts = streaming_partition(&g, 8);
+        let (r, new_id) = apply_hyperedge_partition(&g, &parts);
+        assert_eq!(r.num_hyperedges(), g.num_hyperedges());
+        assert_eq!(r.num_bipartite_edges(), g.num_bipartite_edges());
+        // Every hyperedge keeps its incidence list.
+        for old in 0..g.num_hyperedges() as u32 {
+            assert_eq!(
+                r.incidence(Side::Hyperedge, new_id[old as usize]),
+                g.incidence(Side::Hyperedge, old)
+            );
+        }
+        // Parts are contiguous under the new numbering: part id is
+        // non-decreasing along new ids.
+        let mut part_of_new = vec![0u32; g.num_hyperedges()];
+        for old in 0..g.num_hyperedges() {
+            part_of_new[new_id[old] as usize] = parts[old];
+        }
+        assert!(part_of_new.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_rejected() {
+        let g = crate::fig1_example();
+        let _ = streaming_partition(&g, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Overlap and degree statistics.
+//!
+//! Reproduces the characterization of §II-D: the *sharable ratio* curves of
+//! Fig. 8, which show what fraction of vertices (hyperedges) are shared by at
+//! least `k` hyperedges (vertices).
+
+use crate::{Hypergraph, Side};
+
+/// Fraction of `side` elements incident to at least `k` opposite-side
+/// elements — the sharable ratio of Fig. 8.
+///
+/// `sharable_ratio(g, Side::Vertex, 2)` is "the ratio of vertices that can be
+/// shared by two hyperedges" (Fig. 8(a)).
+///
+/// ```
+/// use hypergraph::{Side, stats::sharable_ratio};
+/// let g = hypergraph::fig1_example();
+/// // 5 of 7 vertices (v0..v4) belong to two hyperedges.
+/// assert!((sharable_ratio(&g, Side::Vertex, 2) - 5.0 / 7.0).abs() < 1e-12);
+/// ```
+pub fn sharable_ratio(g: &Hypergraph, side: Side, k: usize) -> f64 {
+    let n = g.num_on(side);
+    if n == 0 {
+        return 0.0;
+    }
+    let csr = g.csr_for(side); // rows of csr_for(side) are exactly the `side` elements
+    let shared = (0..n).filter(|&i| csr.degree(i) >= k).count();
+    shared as f64 / n as f64
+}
+
+/// The full sharable-ratio curve for `k` in `ks`, e.g. `2..=10` for Fig. 8.
+pub fn sharable_curve(g: &Hypergraph, side: Side, ks: impl IntoIterator<Item = usize>) -> Vec<(usize, f64)> {
+    ks.into_iter().map(|k| (k, sharable_ratio(g, side, k))).collect()
+}
+
+/// Summary degree statistics of one side of a hypergraph.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+}
+
+/// Computes degree statistics for the `side` elements of `g`.
+pub fn degree_stats(g: &Hypergraph, side: Side) -> DegreeStats {
+    let csr = g.csr_for(side);
+    let n = csr.len();
+    if n == 0 {
+        return DegreeStats::default();
+    }
+    let mut degrees: Vec<usize> = (0..n).map(|i| csr.degree(i)).collect();
+    degrees.sort_unstable();
+    DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean: degrees.iter().sum::<usize>() as f64 / n as f64,
+        median: degrees[n / 2],
+    }
+}
+
+/// Counts the number of *overlapped pairs* of hyperedges sharing at least
+/// `w_min` vertices, by exact enumeration. Quadratic in the worst case —
+/// intended for tests and small inputs; production overlap discovery lives in
+/// the `oag` crate.
+pub fn overlapped_hyperedge_pairs(g: &Hypergraph, w_min: usize) -> usize {
+    let mut count = 0usize;
+    let mut weights = vec![0u32; g.num_hyperedges()];
+    let mut touched = Vec::new();
+    for h in 0..g.num_hyperedges() {
+        for &v in g.incidence(Side::Hyperedge, h as u32) {
+            for &h2 in g.incidence(Side::Vertex, v) {
+                if (h2 as usize) > h {
+                    if weights[h2 as usize] == 0 {
+                        touched.push(h2);
+                    }
+                    weights[h2 as usize] += 1;
+                }
+            }
+        }
+        for &h2 in &touched {
+            if weights[h2 as usize] as usize >= w_min {
+                count += 1;
+            }
+            weights[h2 as usize] = 0;
+        }
+        touched.clear();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig1_example;
+
+    #[test]
+    fn fig1_sharable_ratios() {
+        let g = fig1_example();
+        // Vertices v0..v4 have degree 2; v5, v6 have degree 1.
+        assert!((sharable_ratio(&g, Side::Vertex, 1) - 1.0).abs() < 1e-12);
+        assert!((sharable_ratio(&g, Side::Vertex, 2) - 5.0 / 7.0).abs() < 1e-12);
+        assert_eq!(sharable_ratio(&g, Side::Vertex, 3), 0.0);
+        // Every hyperedge has degree >= 2.
+        assert!((sharable_ratio(&g, Side::Hyperedge, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let g = crate::generate::GeneratorConfig::new(2000, 1500).with_seed(4).generate();
+        for side in [Side::Vertex, Side::Hyperedge] {
+            let curve = sharable_curve(&g, side, 1..=12);
+            for w in curve.windows(2) {
+                assert!(w[0].1 >= w[1].1, "sharable curve must be non-increasing");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_stats_fig1() {
+        let g = fig1_example();
+        let hs = degree_stats(&g, Side::Hyperedge);
+        assert_eq!(hs.min, 2);
+        assert_eq!(hs.max, 4);
+        assert!((hs.mean - 3.0).abs() < 1e-12);
+        let vs = degree_stats(&g, Side::Vertex);
+        assert_eq!(vs.max, 2);
+        assert!((vs.mean - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_pairs_fig1() {
+        let g = fig1_example();
+        // Overlapped pairs: (h0,h2) share {v0,v4}; (h1,h2) share {v2};
+        // (h1,h3) share {v1,v3}.
+        assert_eq!(overlapped_hyperedge_pairs(&g, 1), 3);
+        assert_eq!(overlapped_hyperedge_pairs(&g, 2), 2);
+        assert_eq!(overlapped_hyperedge_pairs(&g, 3), 0);
+    }
+
+    #[test]
+    fn empty_side_yields_zero() {
+        // A hypergraph with isolated vertices only is impossible through the
+        // builder (hyperedges are non-empty), but ratios must handle
+        // out-of-range k gracefully.
+        let g = fig1_example();
+        assert_eq!(sharable_ratio(&g, Side::Vertex, 1000), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! OAG construction (preprocessing).
+//!
+//! For every element `a` of the chosen side, the builder walks the two-hop
+//! bipartite neighborhood (`a -> shared opposite element -> b`) counting how
+//! many opposite-side elements each candidate `b` shares with `a`. Pairs with
+//! count `>= W_min` become OAG edges. This is the hypergraph preprocessing
+//! the paper amortizes across algorithm executions (§IV-A, Fig. 21).
+
+use crate::Oag;
+use hypergraph::{Hypergraph, Side};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of OAG construction.
+///
+/// ```
+/// use hypergraph::Side;
+/// use oag::OagConfig;
+/// let g = hypergraph::fig1_example();
+/// let oag = OagConfig::new().with_w_min(2).build(&g, Side::Hyperedge);
+/// assert_eq!(oag.weight(1, 2), None); // weight-1 edge filtered out
+/// assert_eq!(oag.weight(0, 2), Some(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct OagConfig {
+    /// Minimum overlap weight for an edge to be kept. The paper empirically
+    /// sets 3 (§IV-A); correctness never depends on this value.
+    pub w_min: u32,
+    /// Pivot-degree cap: opposite-side elements incident to more than this
+    /// many `side` elements are skipped during two-hop counting. Such hubs
+    /// connect nearly everything to nearly everything with near-uniform
+    /// weight, exploding preprocessing cost while adding little locality
+    /// signal; skipping them only drops OAG edges, which (like `W_min`)
+    /// cannot affect correctness. `u32::MAX` disables the cap.
+    pub max_pivot_degree: u32,
+    /// Maximum OAG degree kept per element (highest-weight edges win).
+    /// Bounds both OAG storage and the hardware's neighbor-scan work.
+    pub max_degree: u32,
+}
+
+impl OagConfig {
+    /// Paper defaults: `W_min = 3`, pivot cap 256, degree cap 16.
+    pub fn new() -> Self {
+        OagConfig { w_min: 3, max_pivot_degree: 256, max_degree: 16 }
+    }
+
+    /// Sets `W_min` (minimum 1).
+    pub fn with_w_min(mut self, w_min: u32) -> Self {
+        self.w_min = w_min.max(1);
+        self
+    }
+
+    /// Sets the pivot-degree cap.
+    pub fn with_max_pivot_degree(mut self, cap: u32) -> Self {
+        self.max_pivot_degree = cap.max(1);
+        self
+    }
+
+    /// Sets the per-element OAG degree cap.
+    pub fn with_max_degree(mut self, cap: u32) -> Self {
+        self.max_degree = cap.max(1);
+        self
+    }
+
+    /// Builds the OAG for `side` elements of `g`.
+    pub fn build(&self, g: &Hypergraph, side: Side) -> Oag {
+        self.build_with_stats(g, side).0
+    }
+
+    /// Builds the OAG and reports preprocessing statistics (Fig. 21).
+    pub fn build_with_stats(&self, g: &Hypergraph, side: Side) -> (Oag, OagBuildStats) {
+        let n = g.num_on(side);
+        let mut stats = OagBuildStats::default();
+
+        // Sparse per-row counter: counts[b] = overlap weight with the pivot
+        // row; `touched` remembers which slots to reset.
+        let mut counts = vec![0u32; n];
+        let mut touched: Vec<u32> = Vec::new();
+
+        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n]; // (neighbor, weight)
+        for a in 0..n as u32 {
+            for &mid in g.incidence(side, a) {
+                let pivot_deg = g.degree(side.opposite(), mid);
+                if pivot_deg as u64 > self.max_pivot_degree as u64 {
+                    stats.pivots_skipped += 1;
+                    continue;
+                }
+                for &b in g.incidence(side.opposite(), mid) {
+                    stats.two_hop_steps += 1;
+                    if b == a {
+                        continue;
+                    }
+                    if counts[b as usize] == 0 {
+                        touched.push(b);
+                    }
+                    counts[b as usize] += 1;
+                }
+            }
+            let mut row: Vec<(u32, u32)> = Vec::with_capacity(touched.len().min(16));
+            for &b in &touched {
+                let w = counts[b as usize];
+                counts[b as usize] = 0;
+                stats.pairs_considered += 1;
+                if w >= self.w_min {
+                    row.push((b, w));
+                }
+            }
+            touched.clear();
+            // Descending weight, ascending id on ties — the storage order the
+            // hardware's neighbor-selection stage relies on.
+            row.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+            row.truncate(self.max_degree as usize);
+            stats.edges_kept += row.len();
+            rows[a as usize] = row;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let total: usize = rows.iter().map(Vec::len).sum();
+        let mut edges = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        for row in rows {
+            for (b, w) in row {
+                edges.push(b);
+                weights.push(w);
+            }
+            offsets.push(u32::try_from(edges.len()).expect("OAG edge count fits u32"));
+        }
+        let oag = Oag::from_parts(side, self.w_min, offsets, edges, weights);
+        stats.size_bytes = oag.size_bytes();
+        (oag, stats)
+    }
+}
+
+impl Default for OagConfig {
+    fn default() -> Self {
+        OagConfig::new()
+    }
+}
+
+/// Preprocessing statistics of one OAG build, feeding the Fig. 21
+/// preprocessing-overhead experiment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct OagBuildStats {
+    /// Bipartite two-hop traversal steps performed (the dominant cost).
+    pub two_hop_steps: u64,
+    /// Distinct candidate pairs examined against `W_min`.
+    pub pairs_considered: u64,
+    /// Directed edge entries kept in the OAG.
+    pub edges_kept: usize,
+    /// Pivot expansions skipped by the pivot-degree cap.
+    pub pivots_skipped: u64,
+    /// Final OAG size in bytes.
+    pub size_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypergraph::{fig1_example, generate::GeneratorConfig};
+
+    #[test]
+    fn symmetric_weights() {
+        let g = GeneratorConfig::new(400, 300).with_seed(21).generate();
+        let oag = OagConfig::new().with_w_min(1).with_max_degree(u32::MAX).build(&g, Side::Hyperedge);
+        for a in 0..oag.len() as u32 {
+            for (&b, &w) in oag.neighbors(a).iter().zip(oag.weights_of(a)) {
+                assert_eq!(oag.weight(b, a), Some(w), "edge ({a},{b}) not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_reference_on_small_inputs() {
+        let g = GeneratorConfig::new(120, 80).with_seed(33).generate();
+        let oag = OagConfig::new().with_w_min(2).with_max_degree(u32::MAX).build(&g, Side::Hyperedge);
+        // Naive O(|H|^2) intersection counting.
+        for a in 0..g.num_hyperedges() as u32 {
+            for b in 0..g.num_hyperedges() as u32 {
+                if a == b {
+                    continue;
+                }
+                let sa = g.incidence(Side::Hyperedge, a);
+                let sb = g.incidence(Side::Hyperedge, b);
+                let w = sa.iter().filter(|v| sb.contains(v)).count() as u32;
+                if w >= 2 {
+                    assert_eq!(oag.weight(a, b), Some(w), "({a},{b})");
+                } else {
+                    assert_eq!(oag.weight(a, b), None, "({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn w_min_filters_edges() {
+        let g = fig1_example();
+        let all = OagConfig::new().with_w_min(1).build(&g, Side::Hyperedge);
+        let filtered = OagConfig::new().with_w_min(2).build(&g, Side::Hyperedge);
+        assert_eq!(all.num_edge_entries(), 6);
+        assert_eq!(filtered.num_edge_entries(), 4); // (h1,h2) w=1 dropped both ways
+        let heavy = OagConfig::new().with_w_min(3).build(&g, Side::Hyperedge);
+        assert_eq!(heavy.num_edge_entries(), 0);
+    }
+
+    #[test]
+    fn vertex_side_oag() {
+        let g = fig1_example();
+        let oag = OagConfig::new().with_w_min(1).build(&g, Side::Vertex);
+        assert_eq!(oag.len(), 7);
+        // v0 and v4 are both in h0 and h2: weight 2.
+        assert_eq!(oag.weight(0, 4), Some(2));
+        // v0 and v6 share only h0.
+        assert_eq!(oag.weight(0, 6), Some(1));
+        // v0 and v1 share nothing.
+        assert_eq!(oag.weight(0, 1), None);
+    }
+
+    #[test]
+    fn degree_cap_keeps_heaviest() {
+        let g = GeneratorConfig::new(300, 400).with_seed(5).generate();
+        let full = OagConfig::new().with_w_min(1).with_max_degree(u32::MAX).build(&g, Side::Hyperedge);
+        let capped = OagConfig::new().with_w_min(1).with_max_degree(2).build(&g, Side::Hyperedge);
+        for a in 0..capped.len() as u32 {
+            assert!(capped.degree(a) <= 2);
+            if capped.degree(a) == 2 {
+                // The kept edges must be at least as heavy as any dropped one.
+                let kept_min = *capped.weights_of(a).iter().min().unwrap();
+                let full_max_dropped = full
+                    .weights_of(a)
+                    .iter()
+                    .zip(full.neighbors(a))
+                    .filter(|&(_, n)| !capped.neighbors(a).contains(n))
+                    .map(|(w, _)| *w)
+                    .max()
+                    .unwrap_or(0);
+                assert!(kept_min >= full_max_dropped);
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_cap_reduces_work() {
+        let g = GeneratorConfig::new(500, 800).with_seed(77).generate();
+        let (_, full) = OagConfig::new()
+            .with_max_pivot_degree(u32::MAX)
+            .build_with_stats(&g, Side::Hyperedge);
+        let (_, capped) = OagConfig::new().with_max_pivot_degree(8).build_with_stats(&g, Side::Hyperedge);
+        assert!(capped.two_hop_steps < full.two_hop_steps);
+        assert!(capped.pivots_skipped > 0);
+        assert_eq!(full.pivots_skipped, 0);
+    }
+
+    #[test]
+    fn stats_report_size() {
+        let g = fig1_example();
+        let (oag, stats) = OagConfig::new().with_w_min(1).build_with_stats(&g, Side::Hyperedge);
+        assert_eq!(stats.size_bytes, oag.size_bytes());
+        assert_eq!(stats.edges_kept, oag.num_edge_entries());
+        assert!(stats.two_hop_steps > 0);
+    }
+}

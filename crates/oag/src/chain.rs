@@ -1,0 +1,154 @@
+//! Chain storage.
+//!
+//! Following §IV-B, all chains generated for one phase share a single queue;
+//! each chain is recorded as an offset range into that queue (the software
+//! analogue of `NEWCHAIN(c)` recording the chain queue's offset).
+
+use serde::{Deserialize, Serialize};
+
+/// A set of chains over one side's element ids, stored as a shared queue plus
+/// chain start offsets.
+///
+/// The concatenation of all chains is the **schedule**: the order in which
+/// elements will be processed. Chain generation guarantees the schedule is a
+/// permutation of the active set.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct ChainSet {
+    queue: Vec<u32>,
+    starts: Vec<u32>,
+}
+
+impl ChainSet {
+    /// Creates an empty chain set.
+    pub fn new() -> Self {
+        ChainSet::default()
+    }
+
+    pub(crate) fn push_element(&mut self, e: u32) {
+        self.queue.push(e);
+    }
+
+    pub(crate) fn begin_chain(&mut self) {
+        self.starts.push(self.queue.len() as u32);
+    }
+
+    pub(crate) fn end_generation(&mut self) {
+        // Drop a trailing empty chain marker, if any.
+        if self.starts.last().copied() == Some(self.queue.len() as u32) {
+            self.starts.pop();
+        }
+    }
+
+    /// Number of chains.
+    pub fn num_chains(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Total number of scheduled elements across all chains.
+    pub fn num_elements(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if no elements were scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The `i`-th chain, as a slice of element ids in schedule order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_chains()`.
+    pub fn chain(&self, i: usize) -> &[u32] {
+        let lo = self.starts[i] as usize;
+        let hi = self.starts.get(i + 1).map_or(self.queue.len(), |&s| s as usize);
+        &self.queue[lo..hi]
+    }
+
+    /// Iterates all chains in generation order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.num_chains()).map(move |i| self.chain(i))
+    }
+
+    /// The flat schedule: every element in processing order.
+    pub fn schedule(&self) -> &[u32] {
+        &self.queue
+    }
+
+    /// Length of the longest chain (0 if empty) — used by the chain-length
+    /// skew analysis around `D_max` (Fig. 17).
+    pub fn max_chain_len(&self) -> usize {
+        self.iter().map(<[u32]>::len).max().unwrap_or(0)
+    }
+
+    /// Mean chain length (0.0 if empty).
+    pub fn mean_chain_len(&self) -> f64 {
+        if self.num_chains() == 0 {
+            0.0
+        } else {
+            self.num_elements() as f64 / self.num_chains() as f64
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ChainSet {
+    type Item = &'a [u32];
+    type IntoIter = Box<dyn Iterator<Item = &'a [u32]> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChainSet {
+        let mut c = ChainSet::new();
+        c.begin_chain();
+        c.push_element(0);
+        c.push_element(2);
+        c.begin_chain();
+        c.push_element(1);
+        c.begin_chain(); // empty trailing chain, removed by end_generation
+        c.end_generation();
+        c
+    }
+
+    #[test]
+    fn chains_and_schedule() {
+        let c = sample();
+        assert_eq!(c.num_chains(), 2);
+        assert_eq!(c.num_elements(), 3);
+        assert_eq!(c.chain(0), &[0, 2]);
+        assert_eq!(c.chain(1), &[1]);
+        assert_eq!(c.schedule(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn iter_yields_all_chains() {
+        let c = sample();
+        let lens: Vec<usize> = c.iter().map(<[u32]>::len).collect();
+        assert_eq!(lens, vec![2, 1]);
+        assert_eq!((&c).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn length_statistics() {
+        let c = sample();
+        assert_eq!(c.max_chain_len(), 2);
+        assert!((c.mean_chain_len() - 1.5).abs() < 1e-12);
+        let empty = ChainSet::new();
+        assert_eq!(empty.max_chain_len(), 0);
+        assert_eq!(empty.mean_chain_len(), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn end_generation_is_idempotent() {
+        let mut c = sample();
+        c.end_generation();
+        assert_eq!(c.num_chains(), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! The overlap-aware abstraction graph.
+
+use hypergraph::Side;
+use serde::{Deserialize, Serialize};
+
+/// An overlap-aware abstraction graph (paper Definition 1).
+///
+/// One OAG vertex per element of the chosen [`Side`] of the hypergraph; an
+/// edge `(a, b)` with weight `w` means elements `a` and `b` share `w`
+/// opposite-side elements, with `w >= w_min`.
+///
+/// Stored in CSR form with three parallel arrays — `OAG_offset`, `OAG_edge`,
+/// `OAG_weight` (Fig. 13) — and, crucially for the hardware's *neighbor
+/// selection* stage, each row's edges are pre-sorted by **descending weight**
+/// (ties broken by ascending id) so the maximal-weight successor is always
+/// the first valid entry (§IV-B: "we enforce to store the CSR-based edges of
+/// each vertex in a descending order according to their weights").
+///
+/// Construct via [`OagConfig::build`](crate::OagConfig::build).
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Oag {
+    side: Side,
+    w_min: u32,
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+    weights: Vec<u32>,
+}
+
+impl Oag {
+    pub(crate) fn from_parts(
+        side: Side,
+        w_min: u32,
+        offsets: Vec<u32>,
+        edges: Vec<u32>,
+        weights: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(edges.len(), weights.len());
+        debug_assert_eq!(*offsets.last().expect("offsets nonempty") as usize, edges.len());
+        Oag { side, w_min, offsets, edges, weights }
+    }
+
+    /// Which hypergraph side this OAG abstracts.
+    #[inline]
+    pub fn side(&self) -> Side {
+        self.side
+    }
+
+    /// The `W_min` threshold the OAG was built with.
+    #[inline]
+    pub fn w_min(&self) -> u32 {
+        self.w_min
+    }
+
+    /// Number of OAG vertices (= number of `side` elements).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` if the OAG has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of directed edge entries (each undirected overlap is stored
+    /// twice, once per endpoint).
+    #[inline]
+    pub fn num_edge_entries(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbors of element `e`, in descending-weight order.
+    #[inline]
+    pub fn neighbors(&self, e: u32) -> &[u32] {
+        let lo = self.offsets[e as usize] as usize;
+        let hi = self.offsets[e as usize + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Weights parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn weights_of(&self, e: u32) -> &[u32] {
+        let lo = self.offsets[e as usize] as usize;
+        let hi = self.offsets[e as usize + 1] as usize;
+        &self.weights[lo..hi]
+    }
+
+    /// OAG degree of element `e`.
+    #[inline]
+    pub fn degree(&self, e: u32) -> usize {
+        (self.offsets[e as usize + 1] - self.offsets[e as usize]) as usize
+    }
+
+    /// Half-open range of `e`'s entries in the edge/weight arrays — the pair
+    /// the hardware's *offsets fetching* stage reads.
+    #[inline]
+    pub fn edge_range(&self, e: u32) -> (usize, usize) {
+        (self.offsets[e as usize] as usize, self.offsets[e as usize + 1] as usize)
+    }
+
+    /// The weight of edge `(a, b)`, if present.
+    pub fn weight(&self, a: u32, b: u32) -> Option<u32> {
+        self.neighbors(a)
+            .iter()
+            .position(|&n| n == b)
+            .map(|i| self.weights_of(a)[i])
+    }
+
+    /// Raw `OAG_offset` array.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Raw `OAG_edge` array.
+    #[inline]
+    pub fn edges(&self) -> &[u32] {
+        &self.edges
+    }
+
+    /// Raw `OAG_weight` array.
+    #[inline]
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Resident size in bytes of the three OAG arrays — the extra storage
+    /// ChGraph pays over Hygra (Fig. 21(b)).
+    pub fn size_bytes(&self) -> usize {
+        (self.offsets.len() + self.edges.len() + self.weights.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Extracts the per-chunk OAG for elements `range.start..range.end`
+    /// (paper §IV-B: "each chunk has a hyperedge OAG or a vertex OAG").
+    /// Ids keep their global values; rows outside the range are empty and
+    /// edges leaving the range are dropped, so walking the restriction is
+    /// exactly walking the global OAG with an in-range filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the OAG.
+    pub fn restrict_to_range(&self, range: std::ops::Range<u32>) -> Oag {
+        assert!(range.end as usize <= self.len(), "range exceeds OAG");
+        let mut offsets = Vec::with_capacity(self.len() + 1);
+        offsets.push(0u32);
+        let mut edges = Vec::new();
+        let mut weights = Vec::new();
+        for e in 0..self.len() as u32 {
+            if range.contains(&e) {
+                for (&n, &w) in self.neighbors(e).iter().zip(self.weights_of(e)) {
+                    if range.contains(&n) {
+                        edges.push(n);
+                        weights.push(w);
+                    }
+                }
+            }
+            offsets.push(edges.len() as u32);
+        }
+        Oag::from_parts(self.side, self.w_min, offsets, edges, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OagConfig;
+    use hypergraph::fig1_example;
+
+    fn fig11_oag() -> Oag {
+        // Fig. 11 uses the same hypergraph as Fig. 1; its hyperedge OAG has
+        // edges (h0,h2) w=2, (h1,h2) w=1, (h1,h3) w=2.
+        OagConfig::new().with_w_min(1).build(&fig1_example(), Side::Hyperedge)
+    }
+
+    #[test]
+    fn fig11_structure() {
+        let oag = fig11_oag();
+        assert_eq!(oag.len(), 4);
+        assert_eq!(oag.num_edge_entries(), 6); // 3 undirected edges
+        assert_eq!(oag.weight(0, 2), Some(2));
+        assert_eq!(oag.weight(2, 0), Some(2));
+        assert_eq!(oag.weight(1, 3), Some(2));
+        assert_eq!(oag.weight(1, 2), Some(1));
+        assert_eq!(oag.weight(0, 1), None);
+        assert_eq!(oag.weight(0, 3), None);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_descending_weight() {
+        let oag = fig11_oag();
+        // h1 overlaps h3 (w=2) and h2 (w=1): h3 must come first.
+        assert_eq!(oag.neighbors(1), &[3, 2]);
+        assert_eq!(oag.weights_of(1), &[2, 1]);
+    }
+
+    #[test]
+    fn edge_range_matches_neighbors() {
+        let oag = fig11_oag();
+        let (lo, hi) = oag.edge_range(1);
+        assert_eq!(&oag.edges()[lo..hi], oag.neighbors(1));
+        assert_eq!(&oag.weights()[lo..hi], oag.weights_of(1));
+    }
+
+    #[test]
+    fn size_bytes_counts_three_arrays() {
+        let oag = fig11_oag();
+        assert_eq!(oag.size_bytes(), (5 + 6 + 6) * 4);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let oag = fig11_oag();
+        assert_eq!(oag.side(), Side::Hyperedge);
+        assert_eq!(oag.w_min(), 1);
+        assert!(!oag.is_empty());
+        assert_eq!(oag.degree(0), 1);
+        assert_eq!(oag.degree(2), 2);
+    }
+}

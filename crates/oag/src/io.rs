@@ -1,0 +1,179 @@
+//! Binary OAG serialization.
+//!
+//! OAG construction is the expensive preprocessing step the paper amortizes
+//! across algorithm executions (§IV-A, §VI-G). This module provides the
+//! compact on-disk format a system would cache it in: a magic/version
+//! header, the side tag and `W_min`, then the three raw arrays
+//! (`OAG_offset`, `OAG_edge`, `OAG_weight`) in little-endian.
+
+use crate::Oag;
+use hypergraph::Side;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+const MAGIC: &[u8; 4] = b"CHGO";
+const VERSION: u32 = 1;
+
+/// Error returned by [`read_binary`].
+#[derive(Debug)]
+pub enum ReadOagError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Bad magic, version, or inconsistent arrays.
+    Malformed(String),
+}
+
+impl fmt::Display for ReadOagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadOagError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadOagError::Malformed(m) => write!(f, "malformed OAG file: {m}"),
+        }
+    }
+}
+
+impl Error for ReadOagError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadOagError::Io(e) => Some(e),
+            ReadOagError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadOagError {
+    fn from(e: std::io::Error) -> Self {
+        ReadOagError::Io(e)
+    }
+}
+
+fn write_u32s<W: Write>(w: &mut W, values: &[u32]) -> std::io::Result<()> {
+    w.write_all(&(values.len() as u64).to_le_bytes())?;
+    for &v in values {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32s<R: BufRead>(r: &mut R) -> Result<Vec<u32>, ReadOagError> {
+    let mut len8 = [0u8; 8];
+    r.read_exact(&mut len8)?;
+    let len = u64::from_le_bytes(len8) as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 24));
+    let mut buf = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut buf)?;
+        out.push(u32::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+/// Writes `oag` in the binary format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_binary<W: Write>(oag: &Oag, mut w: W) -> std::io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&[match oag.side() {
+        Side::Vertex => 0u8,
+        Side::Hyperedge => 1,
+    }])?;
+    w.write_all(&oag.w_min().to_le_bytes())?;
+    write_u32s(&mut w, oag.offsets())?;
+    write_u32s(&mut w, oag.edges())?;
+    write_u32s(&mut w, oag.weights())?;
+    Ok(())
+}
+
+/// Reads an OAG written by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns [`ReadOagError::Malformed`] for header or consistency problems
+/// and [`ReadOagError::Io`] for underlying failures (including truncation).
+pub fn read_binary<R: BufRead>(mut r: R) -> Result<Oag, ReadOagError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadOagError::Malformed(format!("bad magic {magic:?}")));
+    }
+    let mut ver = [0u8; 4];
+    r.read_exact(&mut ver)?;
+    if u32::from_le_bytes(ver) != VERSION {
+        return Err(ReadOagError::Malformed("unsupported version".into()));
+    }
+    let mut side_byte = [0u8; 1];
+    r.read_exact(&mut side_byte)?;
+    let side = match side_byte[0] {
+        0 => Side::Vertex,
+        1 => Side::Hyperedge,
+        other => return Err(ReadOagError::Malformed(format!("bad side tag {other}"))),
+    };
+    let mut wmin4 = [0u8; 4];
+    r.read_exact(&mut wmin4)?;
+    let w_min = u32::from_le_bytes(wmin4);
+    let offsets = read_u32s(&mut r)?;
+    let edges = read_u32s(&mut r)?;
+    let weights = read_u32s(&mut r)?;
+    if offsets.is_empty()
+        || !offsets.windows(2).all(|w| w[0] <= w[1])
+        || *offsets.last().expect("nonempty") as usize != edges.len()
+        || edges.len() != weights.len()
+    {
+        return Err(ReadOagError::Malformed("inconsistent arrays".into()));
+    }
+    let n = offsets.len() as u32 - 1;
+    if edges.iter().any(|&e| e >= n) {
+        return Err(ReadOagError::Malformed("edge target out of range".into()));
+    }
+    Ok(Oag::from_parts(side, w_min, offsets, edges, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OagConfig;
+
+    fn sample() -> Oag {
+        let g = hypergraph::generate::GeneratorConfig::new(400, 300).with_seed(3).generate();
+        OagConfig::new().with_w_min(2).build(&g, Side::Hyperedge)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let oag = sample();
+        let mut buf = Vec::new();
+        write_binary(&oag, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, oag);
+        assert_eq!(back.side(), Side::Hyperedge);
+        assert_eq!(back.w_min(), 2);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let oag = sample();
+        let mut buf = Vec::new();
+        write_binary(&oag, &mut buf).unwrap();
+        let mut bad = buf.clone();
+        bad[0] = b'Z';
+        assert!(matches!(read_binary(&bad[..]).unwrap_err(), ReadOagError::Malformed(_)));
+        let truncated = &buf[..buf.len() / 2];
+        assert!(matches!(read_binary(truncated).unwrap_err(), ReadOagError::Io(_)));
+        let mut bad_side = buf.clone();
+        bad_side[8] = 7;
+        assert!(matches!(read_binary(&bad_side[..]).unwrap_err(), ReadOagError::Malformed(_)));
+    }
+
+    #[test]
+    fn vertex_side_roundtrips_too() {
+        let g = hypergraph::fig1_example();
+        let oag = OagConfig::new().with_w_min(1).build(&g, Side::Vertex);
+        let mut buf = Vec::new();
+        write_binary(&oag, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), oag);
+    }
+}

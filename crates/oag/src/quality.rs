@@ -1,0 +1,198 @@
+//! Schedule-quality analysis.
+//!
+//! The whole premise of chain-driven scheduling is that consecutive
+//! scheduled elements share incident elements. This module quantifies that
+//! property for any schedule, which is how the chain generator's output can
+//! be evaluated *without* running the architectural simulator — useful for
+//! tuning `W_min`/`D_max` and for regression-testing the walk itself.
+
+use crate::ChainSet;
+use hypergraph::{Hypergraph, Side};
+use serde::{Deserialize, Serialize};
+
+/// Structural statistics of a [`ChainSet`].
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct ChainStats {
+    /// Number of chains.
+    pub num_chains: usize,
+    /// Total scheduled elements.
+    pub num_elements: usize,
+    /// Chain-count-weighted mean length.
+    pub mean_len: f64,
+    /// Element-weighted mean length (the length an average *element* sees;
+    /// dominated by the long chains that carry the reuse).
+    pub element_weighted_len: f64,
+    /// Longest chain.
+    pub max_len: usize,
+    /// Fraction of elements in singleton chains (no reuse partner).
+    pub singleton_fraction: f64,
+}
+
+/// Computes [`ChainStats`] for a chain set.
+///
+/// ```
+/// use hypergraph::{Frontier, Side};
+/// use oag::{generate_chains, quality::chain_stats, ChainConfig, OagConfig};
+/// let g = hypergraph::fig1_example();
+/// let oag = OagConfig::new().with_w_min(1).build(&g, Side::Hyperedge);
+/// let chains = generate_chains(&oag, &Frontier::full(4), 0..4, &ChainConfig::default());
+/// let s = chain_stats(&chains);
+/// assert_eq!(s.num_chains, 1);
+/// assert_eq!(s.max_len, 4);
+/// assert_eq!(s.singleton_fraction, 0.0);
+/// ```
+pub fn chain_stats(chains: &ChainSet) -> ChainStats {
+    let num_chains = chains.num_chains();
+    let num_elements = chains.num_elements();
+    if num_elements == 0 {
+        return ChainStats::default();
+    }
+    let mut weighted = 0usize;
+    let mut singletons = 0usize;
+    for chain in chains.iter() {
+        weighted += chain.len() * chain.len();
+        if chain.len() == 1 {
+            singletons += 1;
+        }
+    }
+    ChainStats {
+        num_chains,
+        num_elements,
+        mean_len: num_elements as f64 / num_chains as f64,
+        element_weighted_len: weighted as f64 / num_elements as f64,
+        max_len: chains.max_chain_len(),
+        singleton_fraction: singletons as f64 / num_elements as f64,
+    }
+}
+
+/// The *shared-incidence fraction* of a schedule: over consecutive pairs of
+/// scheduled `side` elements, the fraction of the successor's incidence list
+/// already present in its predecessor's — exactly the fraction of
+/// destination-value accesses a cache can serve from the previous element's
+/// working set. Index order on a well-mixed input scores near 0; perfect
+/// near-duplicate chains approach 1.
+///
+/// ```
+/// use hypergraph::Side;
+/// use oag::quality::shared_incidence_fraction;
+/// let g = hypergraph::fig1_example();
+/// // The paper's chain <h0, h2, h1, h3>: h2 reuses 2/3, h1 reuses 1/4,
+/// // h3 reuses 2/2 of their predecessors' incident vertices.
+/// let f = shared_incidence_fraction(&g, Side::Hyperedge, &[0, 2, 1, 3]);
+/// assert!(f > 0.5);
+/// // Index order <h0, h1, h2, h3> shares much less.
+/// assert!(shared_incidence_fraction(&g, Side::Hyperedge, &[0, 1, 2, 3]) < f);
+/// ```
+pub fn shared_incidence_fraction(g: &Hypergraph, side: Side, schedule: &[u32]) -> f64 {
+    let mut shared = 0usize;
+    let mut total = 0usize;
+    for w in schedule.windows(2) {
+        let prev = g.incidence(side, w[0]);
+        let cur = g.incidence(side, w[1]);
+        shared += cur.iter().filter(|x| prev.contains(x)).count();
+        total += cur.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        shared as f64 / total as f64
+    }
+}
+
+/// Shared-incidence fraction evaluated per chain (pairs never straddle a
+/// chain boundary), the quantity the chain generator actually optimizes.
+pub fn chained_incidence_fraction(g: &Hypergraph, side: Side, chains: &ChainSet) -> f64 {
+    let mut shared = 0usize;
+    let mut total = 0usize;
+    for chain in chains.iter() {
+        for w in chain.windows(2) {
+            let prev = g.incidence(side, w[0]);
+            let cur = g.incidence(side, w[1]);
+            shared += cur.iter().filter(|x| prev.contains(x)).count();
+            total += cur.len();
+        }
+        // Chain heads (and singletons) have no predecessor: count their
+        // incidence as unshared so the metric reflects whole-phase reuse.
+        if let Some(&head) = chain.first() {
+            total += g.incidence(side, head).len();
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        shared as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_chains, ChainConfig, OagConfig};
+    use hypergraph::Frontier;
+
+    fn family_graph() -> Hypergraph {
+        hypergraph::generate::GeneratorConfig::new(4_000, 2_000)
+            .with_seed(3)
+            .with_family_range(8, 64)
+            .with_member_prob(0.85)
+            .generate()
+    }
+
+    #[test]
+    fn chains_score_higher_than_index_order() {
+        let g = family_graph();
+        let oag = OagConfig::new().build(&g, Side::Hyperedge);
+        let n = g.num_hyperedges() as u32;
+        let chains = generate_chains(&oag, &Frontier::full(n as usize), 0..n, &ChainConfig::default());
+        let chain_frac = shared_incidence_fraction(&g, Side::Hyperedge, chains.schedule());
+        let index: Vec<u32> = (0..n).collect();
+        let index_frac = shared_incidence_fraction(&g, Side::Hyperedge, &index);
+        assert!(
+            chain_frac > index_frac + 0.2,
+            "chains ({chain_frac:.3}) must clearly beat index order ({index_frac:.3})"
+        );
+    }
+
+    #[test]
+    fn chained_fraction_never_exceeds_pairwise_fraction_bound() {
+        let g = family_graph();
+        let oag = OagConfig::new().build(&g, Side::Hyperedge);
+        let n = g.num_hyperedges() as u32;
+        let chains = generate_chains(&oag, &Frontier::full(n as usize), 0..n, &ChainConfig::default());
+        let f = chained_incidence_fraction(&g, Side::Hyperedge, &chains);
+        assert!((0.0..=1.0).contains(&f));
+        assert!(f > 0.2, "family input must yield substantial chained reuse ({f:.3})");
+    }
+
+    #[test]
+    fn stats_of_empty_and_trivial_sets() {
+        let empty = ChainSet::new();
+        assert_eq!(chain_stats(&empty), ChainStats::default());
+        let g = hypergraph::fig1_example();
+        let oag = OagConfig::new().with_w_min(3).build(&g, Side::Hyperedge);
+        let chains =
+            generate_chains(&oag, &Frontier::full(4), 0..4, &ChainConfig::default());
+        let s = chain_stats(&chains);
+        assert_eq!(s.num_chains, 4, "W_min=3 isolates every hyperedge of fig1");
+        assert_eq!(s.singleton_fraction, 1.0);
+        assert_eq!(s.element_weighted_len, 1.0);
+    }
+
+    #[test]
+    fn element_weighted_exceeds_count_weighted_on_skewed_sets() {
+        let g = family_graph();
+        let oag = OagConfig::new().build(&g, Side::Hyperedge);
+        let n = g.num_hyperedges() as u32;
+        let chains = generate_chains(&oag, &Frontier::full(n as usize), 0..n, &ChainConfig::default());
+        let s = chain_stats(&chains);
+        assert!(s.element_weighted_len >= s.mean_len);
+        assert!(s.max_len <= 16);
+    }
+
+    #[test]
+    fn empty_schedule_scores_zero() {
+        let g = hypergraph::fig1_example();
+        assert_eq!(shared_incidence_fraction(&g, Side::Hyperedge, &[]), 0.0);
+        assert_eq!(shared_incidence_fraction(&g, Side::Hyperedge, &[1]), 0.0);
+    }
+}

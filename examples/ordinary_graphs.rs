@@ -1,0 +1,51 @@
+//! The generality study (paper §VI-I): conventional graphs are 2-uniform
+//! hypergraphs, so ChGraph runs ordinary graph workloads unmodified.
+//!
+//! Compares the index-ordered baseline ("Ligra" — exactly the special case
+//! of Hygra on 2-uniform input), the HATS hardware traversal scheduler, and
+//! ChGraph on SSSP and Adsorption over the com-Amazon / soc-Pokec stand-ins.
+//!
+//! ```text
+//! cargo run --release --example ordinary_graphs
+//! ```
+
+use chgraph::{ChGraphRuntime, HatsVRuntime, HygraRuntime, Runtime, RunConfig};
+use hyperalgos::{run_workload, Workload};
+use hypergraph::datasets::GraphDataset;
+
+fn main() {
+    let cfg = RunConfig::new();
+    println!(
+        "{:<11} {:<6} {:<10} {:>13} {:>15} {:>9}",
+        "workload", "graph", "system", "cycles", "dram accesses", "speedup"
+    );
+    for w in Workload::GRAPH {
+        for gd in GraphDataset::ALL {
+            let g = gd.load();
+            let ligra = run_workload(w, &HygraRuntime, &g, &cfg);
+            let systems: [(&str, &dyn Runtime); 3] = [
+                ("Ligra", &HygraRuntime),
+                ("HATS", &HatsVRuntime),
+                ("ChGraph", &ChGraphRuntime::new()),
+            ];
+            for (label, rt) in systems {
+                let r = run_workload(w, rt, &g, &cfg);
+                println!(
+                    "{:<11} {:<6} {:<10} {:>13} {:>15} {:>8.2}x",
+                    w.abbrev(),
+                    gd.abbrev(),
+                    label,
+                    r.cycles,
+                    r.mem.main_memory_accesses(),
+                    r.speedup_over(&ligra)
+                );
+            }
+            println!();
+        }
+    }
+    println!(
+        "For 2-uniform inputs the OAG coincides with the input graph's \
+         adjacency, so ChGraph degenerates gracefully to a HATS-class \
+         traversal scheduler with a prefetcher (paper SVI-I)."
+    );
+}

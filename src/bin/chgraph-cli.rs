@@ -1,0 +1,187 @@
+//! Command-line front end: run any workload on any input under any runtime
+//! on the simulated machine, and print the execution report.
+//!
+//! ```text
+//! chgraph-cli run --workload pr --runtime chgraph --dataset WEB
+//! chgraph-cli run --workload bfs --runtime hygra --input my.hgr --cores 8
+//! chgraph-cli stats --dataset LJ
+//! chgraph-cli gen --vertices 10000 --hyperedges 4000 --out my.hgr
+//! ```
+//!
+//! Input files use the hMETIS-like text format of `hypergraph::io`.
+
+use archsim::SystemConfig;
+use chgraph::{
+    ChGraphRuntime, GlaRuntime, HatsVRuntime, HygraRuntime, PrefetcherRuntime,
+    RunConfig, Runtime,
+};
+use hyperalgos::{run_workload, Workload};
+use hypergraph::datasets::Dataset;
+use hypergraph::{stats, Hypergraph, Side};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  chgraph-cli run --workload <bfs|pr|mis|bc|cc|kcore|sssp|adsorption>\n\
+         \x20                 --runtime <hygra|gla|chgraph|hcg|hats|prefetcher>\n\
+         \x20                 (--dataset <FS|OK|LJ|WEB|OG> | --input <file.hgr>)\n\
+         \x20                 [--cores <n>] [--dmax <n>] [--wmin <n>] [--iters <n>]\n\
+         \x20 chgraph-cli stats (--dataset <..> | --input <file.hgr>)\n\
+         \x20 chgraph-cli gen --vertices <n> --hyperedges <n> --out <file.hgr> [--seed <n>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let key = flag.strip_prefix("--")?;
+        let value = it.next()?;
+        map.insert(key.to_string(), value.clone());
+    }
+    Some(map)
+}
+
+fn load_input(flags: &HashMap<String, String>) -> Result<Hypergraph, String> {
+    if let Some(ds) = flags.get("dataset") {
+        let dataset = Dataset::ALL
+            .into_iter()
+            .find(|d| d.abbrev().eq_ignore_ascii_case(ds))
+            .ok_or_else(|| format!("unknown dataset {ds:?}"))?;
+        return Ok(dataset.load());
+    }
+    if let Some(path) = flags.get("input") {
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        return hypergraph::io::read_text(std::io::BufReader::new(file))
+            .map_err(|e| format!("parse {path}: {e}"));
+    }
+    Err("need --dataset or --input".into())
+}
+
+fn pick_workload(name: &str) -> Option<Workload> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "bfs" => Workload::Bfs,
+        "pr" | "pagerank" => Workload::Pr,
+        "mis" => Workload::Mis,
+        "bc" => Workload::Bc,
+        "cc" => Workload::Cc,
+        "kcore" | "k-core" => Workload::KCore,
+        "sssp" => Workload::Sssp,
+        "adsorption" => Workload::Adsorption,
+        _ => return None,
+    })
+}
+
+fn pick_runtime(name: &str) -> Option<Box<dyn Runtime>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "hygra" => Box::new(HygraRuntime),
+        "gla" => Box::new(GlaRuntime),
+        "chgraph" => Box::new(ChGraphRuntime::new()),
+        "hcg" => Box::new(ChGraphRuntime::hcg_only()),
+        "hats" | "hats-v" => Box::new(HatsVRuntime),
+        "prefetcher" => Box::new(PrefetcherRuntime),
+        _ => return None,
+    })
+}
+
+fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
+    let mut g = load_input(&flags)?;
+    let workload = flags
+        .get("workload")
+        .and_then(|w| pick_workload(w))
+        .ok_or("missing or unknown --workload")?;
+    let runtime = flags
+        .get("runtime")
+        .and_then(|r| pick_runtime(r))
+        .ok_or("missing or unknown --runtime")?;
+    let mut cfg = RunConfig::new();
+    if let Some(c) = flags.get("cores") {
+        let cores: usize = c.parse().map_err(|_| "bad --cores")?;
+        cfg = cfg.with_system(SystemConfig::scaled(cores));
+    }
+    if let Some(d) = flags.get("dmax") {
+        cfg = cfg.with_chain(oag::ChainConfig::new(d.parse().map_err(|_| "bad --dmax")?));
+    }
+    if let Some(w) = flags.get("wmin") {
+        cfg = cfg.with_oag(oag::OagConfig::new().with_w_min(w.parse().map_err(|_| "bad --wmin")?));
+    }
+    if let Some(n) = flags.get("iters") {
+        cfg = cfg.with_max_iterations(n.parse().map_err(|_| "bad --iters")?);
+    }
+    if flags.get("partition").map(String::as_str) == Some("true") {
+        let parts =
+            hypergraph::partition::streaming_partition(&g, cfg.system.num_cores);
+        let (reordered, _) = hypergraph::partition::apply_hyperedge_partition(&g, &parts);
+        g = reordered;
+        println!("applied overlap-aware partitioning into {} parts", cfg.system.num_cores);
+    }
+    println!(
+        "input: {} vertices, {} hyperedges, {} bipartite edges\n",
+        g.num_vertices(),
+        g.num_hyperedges(),
+        g.num_bipartite_edges()
+    );
+    let report = run_workload(workload, runtime.as_ref(), &g, &cfg);
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_stats(flags: HashMap<String, String>) -> Result<(), String> {
+    let g = load_input(&flags)?;
+    println!("vertices:        {}", g.num_vertices());
+    println!("hyperedges:      {}", g.num_hyperedges());
+    println!("bipartite edges: {}", g.num_bipartite_edges());
+    for side in [Side::Vertex, Side::Hyperedge] {
+        let d = stats::degree_stats(&g, side);
+        println!(
+            "{side} degrees:  min {} / median {} / mean {:.1} / max {}",
+            d.min, d.median, d.mean, d.max
+        );
+    }
+    for k in [2usize, 4, 7] {
+        println!(
+            "shared by >= {k} hyperedges: {:.1}% of vertices",
+            stats::sharable_ratio(&g, Side::Vertex, k) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gen(flags: HashMap<String, String>) -> Result<(), String> {
+    let nv: usize = flags.get("vertices").and_then(|v| v.parse().ok()).ok_or("bad --vertices")?;
+    let nh: usize =
+        flags.get("hyperedges").and_then(|v| v.parse().ok()).ok_or("bad --hyperedges")?;
+    let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let out = flags.get("out").ok_or("missing --out")?;
+    let g = hypergraph::generate::GeneratorConfig::new(nv, nh).with_seed(seed).generate();
+    let file = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    hypergraph::io::write_text(&g, std::io::BufWriter::new(file))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} ({} bipartite edges)", out, g.num_bipartite_edges());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(rest) else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(flags),
+        "stats" => cmd_stats(flags),
+        "gen" => cmd_gen(flags),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

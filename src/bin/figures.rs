@@ -1,0 +1,96 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures <artifact> [--scale <f>]
+//!
+//! artifacts: table1 table2 fig2 fig3 fig5 fig7 fig8 fig14 fig15 fig16
+//!            fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 area all
+//! ```
+//!
+//! `--scale` shrinks the stand-in datasets multiplicatively for smoke runs
+//! (default 1.0, the configuration EXPERIMENTS.md records).
+
+use chg_bench::figures::{self, Harness};
+use chg_bench::Scale;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const ARTIFACTS: &[&str] = &[
+    "table1", "table2", "fig2", "fig3", "fig5", "fig7", "fig8", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "area",
+    "energy", "chains",
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: figures <artifact|all> [--scale <f>]");
+    eprintln!("artifacts: {}", ARTIFACTS.join(" "));
+    ExitCode::FAILURE
+}
+
+fn emit(artifact: &str, h: &Harness) -> bool {
+    let t0 = Instant::now();
+    match artifact {
+        "table1" => println!("{}", figures::table1()),
+        "table2" => println!("{}", figures::table2(h.scale)),
+        "fig2" => println!("{}", figures::fig2(h)),
+        "fig3" => println!("{}", figures::fig3(h)),
+        "fig5" => println!("{}", figures::fig5(h)),
+        "fig7" => println!("{}", figures::fig7(h)),
+        "fig8" => println!("{}", figures::fig8(h)),
+        "fig14" => println!("{}", figures::fig14(h)),
+        "fig15" => println!("{}", figures::fig15(h)),
+        "fig16" => println!("{}", figures::fig16(h)),
+        "fig17" => println!("{}", figures::fig17(h)),
+        "fig18" => println!("{}", figures::fig18(h)),
+        "fig19" => println!("{}", figures::fig19(h)),
+        "fig20" => println!("{}", figures::fig20(h)),
+        "fig21" => println!("{}", figures::fig21(h)),
+        "fig22" => println!("{}", figures::fig22(h)),
+        "fig23" => println!("{}", figures::fig23(h)),
+        "fig24" => println!("{}", figures::fig24(h)),
+        "fig25" => println!("{}", figures::fig25(h)),
+        "area" => println!("{}", figures::area_table()),
+        "energy" => println!("{}", figures::energy(h)),
+        "chains" => println!("{}", figures::chains(h)),
+        _ => return false,
+    }
+    eprintln!("[{artifact} took {:.1?}]", t0.elapsed());
+    true
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artifact = None;
+    let mut scale = Scale::FULL;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                scale = Scale(v);
+            }
+            "-h" | "--help" => return usage(),
+            other if artifact.is_none() => artifact = Some(other.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(artifact) = artifact else {
+        return usage();
+    };
+    let h = Harness::new(scale);
+    if artifact == "all" {
+        for a in ARTIFACTS {
+            if !emit(a, &h) {
+                return usage();
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    if emit(&artifact, &h) {
+        ExitCode::SUCCESS
+    } else {
+        usage()
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the ChGraph (HPCA'22) reproduction suite.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests in this repository can `use chgraph_suite::...`.
+//!
+//! - [`hypergraph`] — bipartite-CSR hypergraph data model, generators,
+//!   datasets, overlap statistics;
+//! - [`oag`] — overlap-aware abstraction graph and chain generation;
+//! - [`archsim`] — cycle-level multicore cache/NoC/DRAM simulator;
+//! - [`chgraph`] — the GLA execution model, the Hygra baseline, the software
+//!   GLA runtime, the ChGraph hardware engine, and the comparison baselines;
+//! - [`hyperalgos`] — the six hypergraph algorithms plus the two
+//!   ordinary-graph algorithms of the generality study.
+
+pub use archsim;
+pub use chgraph;
+pub use hyperalgos;
+pub use hypergraph;
+pub use oag;

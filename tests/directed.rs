@@ -1,0 +1,81 @@
+//! End-to-end directed-hypergraph semantics: `HF` flows only out of source
+//! vertices and `VF` only into destination vertices, under every runtime.
+
+use chgraph::{ChGraphRuntime, GlaRuntime, HygraRuntime, RunConfig, Runtime};
+use hyperalgos::{Bfs, PageRank};
+use hypergraph::directed::DirectedHypergraphBuilder;
+use hypergraph::{Hypergraph, VertexId};
+
+/// v0 -> h0 -> {v1, v2}; v2 -> h1 -> {v3}; v3 -> h2 -> {v0} (a cycle), plus
+/// an edge v4 -> h3 -> {v0} that is *unreachable from* v0.
+fn directed_example() -> Hypergraph {
+    let mut b = DirectedHypergraphBuilder::new(5);
+    b.add_hyperedge([0].map(VertexId::new), [1, 2].map(VertexId::new)).unwrap();
+    b.add_hyperedge([2].map(VertexId::new), [3].map(VertexId::new)).unwrap();
+    b.add_hyperedge([3].map(VertexId::new), [0].map(VertexId::new)).unwrap();
+    b.add_hyperedge([4].map(VertexId::new), [0].map(VertexId::new)).unwrap();
+    b.build()
+}
+
+#[test]
+fn directed_bfs_respects_edge_direction() {
+    let g = directed_example();
+    let cfg = RunConfig::new().with_system(archsim::SystemConfig::scaled(2));
+    for rt in [&HygraRuntime as &dyn Runtime, &GlaRuntime, &ChGraphRuntime::new()] {
+        let r = rt.execute(&g, &Bfs::new(VertexId::new(0)), &cfg);
+        let d = &r.state.vertex_value;
+        assert_eq!(d[0], 0.0, "{}", rt.name());
+        assert_eq!(d[1], 2.0, "{}: v1 is one hyperedge hop away", rt.name());
+        assert_eq!(d[2], 2.0, "{}", rt.name());
+        assert_eq!(d[3], 4.0, "{}: v3 via h1", rt.name());
+        assert!(d[4].is_infinite(), "{}: v4 only points *into* the cycle", rt.name());
+    }
+}
+
+#[test]
+fn reverse_direction_is_not_reachable() {
+    // v1 is a pure destination: BFS from v1 must reach nothing else.
+    let g = directed_example();
+    let cfg = RunConfig::new().with_system(archsim::SystemConfig::scaled(2));
+    let r = HygraRuntime.execute(&g, &Bfs::new(VertexId::new(1)), &cfg);
+    let reached = r.state.vertex_value.iter().filter(|d| d.is_finite()).count();
+    assert_eq!(reached, 1, "only the source itself");
+}
+
+#[test]
+fn directed_pagerank_uses_out_degrees() {
+    let g = directed_example();
+    let cfg = RunConfig::new().with_system(archsim::SystemConfig::scaled(2));
+    let r = HygraRuntime.execute(&g, &PageRank::new(), &cfg);
+    // Rank flows around the v0 -> v2 -> v3 -> v0 cycle and accumulates; the
+    // pure source v4 keeps only base rank contributions through... v4 has no
+    // incident *sourced-or-destination* role beyond sourcing h3, so it
+    // receives nothing: its rank stays 0 after the first accumulator reset.
+    assert_eq!(r.state.vertex_value[4], 0.0, "pure sources receive no rank");
+    assert!(r.state.vertex_value[0] > 0.0, "cycle members accumulate rank");
+    assert!(r.state.vertex_value.iter().all(|x| x.is_finite() && *x >= 0.0));
+}
+
+#[test]
+fn directed_runtimes_agree() {
+    // A larger random directed hypergraph: derive direction by splitting
+    // each undirected hyperedge's incidence list in half.
+    let und = hypergraph::generate::GeneratorConfig::new(600, 400).with_seed(13).generate();
+    let mut b = DirectedHypergraphBuilder::new(und.num_vertices());
+    for h in 0..und.num_hyperedges() as u32 {
+        let vs = und.incidence(hypergraph::Side::Hyperedge, h);
+        let mid = vs.len().div_ceil(2);
+        b.add_hyperedge(
+            vs[..mid].iter().map(|&v| VertexId::new(v)),
+            vs[mid..].iter().map(|&v| VertexId::new(v)),
+        )
+        .unwrap();
+    }
+    let g = b.build();
+    let cfg = RunConfig::new().with_system(archsim::SystemConfig::scaled(4));
+    let src = hyperalgos::default_source(&g);
+    let a = HygraRuntime.execute(&g, &Bfs::new(src), &cfg);
+    let c = ChGraphRuntime::new().execute(&g, &Bfs::new(src), &cfg);
+    assert_eq!(a.state.vertex_value, c.state.vertex_value);
+    assert_eq!(a.state.hyperedge_value, c.state.hyperedge_value);
+}
