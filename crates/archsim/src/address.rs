@@ -255,7 +255,9 @@ mod tests {
     #[test]
     fn classify_roundtrips() {
         let m = sample();
-        for (r, n) in [(Region::HyperedgeOffset, 10u64), (Region::VertexValue, 100), (Region::Bitmap, 4)] {
+        for (r, n) in
+            [(Region::HyperedgeOffset, 10u64), (Region::VertexValue, 100), (Region::Bitmap, 4)]
+        {
             for i in [0, n / 2, n - 1] {
                 assert_eq!(m.classify(m.addr(r, i)), r);
             }

@@ -1,7 +1,7 @@
 //! The simulated machine: private L1/L2 per core, shared banked inclusive
 //! L3 with directory-based invalidation, mesh NoC, and DRAM controllers.
 
-use crate::{AddressMap, Cache, DramModel, MeshNoc, MemStats, Region, SystemConfig};
+use crate::{AddressMap, Cache, DramModel, MemStats, MeshNoc, Region, SystemConfig};
 use std::collections::HashMap;
 
 /// Cache level (or main memory) at which an access was satisfied.

@@ -24,7 +24,11 @@ pub struct MemStats {
 impl MemStats {
     /// Creates zeroed counters.
     pub fn new() -> Self {
-        MemStats { served: vec![[0; 4]; NUM_REGIONS], writebacks: vec![0; NUM_REGIONS], invalidations: 0 }
+        MemStats {
+            served: vec![[0; 4]; NUM_REGIONS],
+            writebacks: vec![0; NUM_REGIONS],
+            invalidations: 0,
+        }
     }
 
     pub(crate) fn record(&mut self, region: Region, level: Level) {

@@ -1,8 +1,10 @@
 //! Microbenchmark: OAG construction (the preprocessing the paper amortizes,
 //! SIV-A / Fig. 21).
 
+use chg_bench::figures::{Harness, System};
 use chg_bench::{load_scaled, Scale};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hyperalgos::Workload;
 use hypergraph::datasets::Dataset;
 use hypergraph::Side;
 use oag::OagConfig;
@@ -31,5 +33,59 @@ fn bench_oag_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_oag_build);
+/// Parallel vs serial OAG construction across thread counts (the result is
+/// bit-identical — only wall-clock changes; `tests/parallel_determinism.rs`
+/// pins the equivalence).
+fn bench_oag_build_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oag_build_threads");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for ds in [Dataset::LiveJournal, Dataset::WebTrackers] {
+        let g = load_scaled(ds, Scale(0.5));
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads_{threads}"), ds.abbrev()),
+                &g,
+                |b, g| b.iter(|| OagConfig::new().build_threads(g, Side::Hyperedge, threads)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Throughput of the figure harness's fanned-out evaluation grid (the
+/// Fig. 14 workload x dataset x system cells), serial vs parallel.
+fn bench_harness_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness_grid");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let datasets = [Dataset::LiveJournal, Dataset::WebTrackers];
+    let workloads = [Workload::Cc, Workload::Bfs];
+    let systems = [System::Hygra, System::ChGraph];
+    let jobs: Vec<_> = datasets
+        .into_iter()
+        .flat_map(|ds| {
+            workloads
+                .into_iter()
+                .flat_map(move |w| systems.into_iter().map(move |sys| (ds, w, sys)))
+        })
+        .collect();
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &jobs, |b, jobs| {
+            b.iter(|| {
+                // Fresh harness per iteration: the memo makes repeated
+                // prefetches free, which would measure nothing.
+                let h = Harness::new(Scale(0.05)).with_threads(threads);
+                h.prefetch(jobs.iter().copied());
+                h
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oag_build, bench_oag_build_threads, bench_harness_grid);
 criterion_main!(benches);

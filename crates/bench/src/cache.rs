@@ -1,0 +1,289 @@
+//! On-disk preprocessing cache for the figure harness.
+//!
+//! OAG construction dominates harness start-up (it is the preprocessing the
+//! paper amortizes across algorithm executions, §VI-G); the stand-in
+//! datasets themselves are also regenerated on every invocation. This cache
+//! persists both artifacts between `figures` runs using the existing binary
+//! codecs (`hypergraph::io`, `oag::io`), so a repeated invocation skips
+//! straight to simulation.
+//!
+//! Correctness: cache keys are FNV-1a fingerprints of the *content* that
+//! produced an artifact — for graphs the generator configuration and scale,
+//! for OAGs the full binary serialization of the source hypergraph plus the
+//! `OagConfig` and side. Any change to a generator, a dataset definition or
+//! an OAG parameter changes the key, so a stale entry can only miss; and
+//! both binary codecs round-trip exactly (`Eq`-tested in their own crates),
+//! so a hit returns bit-identical artifacts and every downstream report is
+//! unchanged. Hit/miss counters are reported in the run log.
+
+use crate::Scale;
+use hypergraph::datasets::Dataset;
+use hypergraph::{Hypergraph, Side};
+use oag::{Oag, OagBuildStats, OagConfig};
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const OAG_ENTRY_MAGIC: &[u8; 4] = b"CHGC";
+const OAG_ENTRY_VERSION: u32 = 1;
+
+/// FNV-1a over a byte stream, usable as an `io::Write` sink so existing
+/// binary writers double as fingerprinters.
+struct FnvWriter(u64);
+
+impl FnvWriter {
+    fn new() -> Self {
+        FnvWriter(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+impl Write for FnvWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.push_bytes(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Content fingerprint of a hypergraph (its exact binary serialization).
+pub fn graph_fingerprint(g: &Hypergraph) -> u64 {
+    let mut w = FnvWriter::new();
+    hypergraph::io::write_binary(g, &mut w).expect("fingerprint sink cannot fail");
+    w.0
+}
+
+/// A directory of cached preprocessing artifacts with hit/miss accounting.
+pub struct PreprocessCache {
+    dir: PathBuf,
+    graph_hits: AtomicU64,
+    graph_misses: AtomicU64,
+    oag_hits: AtomicU64,
+    oag_misses: AtomicU64,
+}
+
+impl PreprocessCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(PreprocessCache {
+            dir,
+            graph_hits: AtomicU64::new(0),
+            graph_misses: AtomicU64::new(0),
+            oag_hits: AtomicU64::new(0),
+            oag_misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn graph_path(&self, ds: Dataset, scale: Scale) -> PathBuf {
+        // Key on the generator configuration (not just the dataset name):
+        // retuning a stand-in invalidates its cached graphs.
+        let mut fp = FnvWriter::new();
+        fp.push_bytes(format!("{:?}", ds.config()).as_bytes());
+        fp.push_bytes(&scale.factor().to_bits().to_le_bytes());
+        self.dir.join(format!("graph_{}_{:016x}.bin", ds.abbrev().to_lowercase(), fp.0))
+    }
+
+    fn oag_path(&self, g: &Hypergraph, cfg: &OagConfig, side: Side) -> PathBuf {
+        let mut fp = FnvWriter::new();
+        fp.push_bytes(&graph_fingerprint(g).to_le_bytes());
+        fp.push_bytes(format!("{cfg:?}/{side:?}").as_bytes());
+        self.dir.join(format!("oag_{:016x}.bin", fp.0))
+    }
+
+    /// Loads the cached stand-in for `(ds, scale)`, if present and intact.
+    pub fn load_graph(&self, ds: Dataset, scale: Scale) -> Option<Hypergraph> {
+        let g = File::open(self.graph_path(ds, scale))
+            .ok()
+            .and_then(|f| hypergraph::io::read_binary(BufReader::new(f)).ok());
+        self.count(g.is_some(), &self.graph_hits, &self.graph_misses);
+        g
+    }
+
+    /// Persists the stand-in for `(ds, scale)`. Failures are ignored — the
+    /// cache is an accelerator, never a correctness dependency.
+    pub fn store_graph(&self, ds: Dataset, scale: Scale, g: &Hypergraph) {
+        let _ = self
+            .write_atomically(&self.graph_path(ds, scale), |w| hypergraph::io::write_binary(g, w));
+    }
+
+    /// Loads the cached OAG (and its build statistics) for `g` under
+    /// `cfg`/`side`, if present and intact.
+    pub fn load_oag(
+        &self,
+        g: &Hypergraph,
+        cfg: &OagConfig,
+        side: Side,
+    ) -> Option<(Oag, OagBuildStats)> {
+        let loaded = File::open(self.oag_path(g, cfg, side))
+            .ok()
+            .and_then(|f| read_oag_entry(BufReader::new(f)).ok());
+        self.count(loaded.is_some(), &self.oag_hits, &self.oag_misses);
+        loaded
+    }
+
+    /// Persists one side's OAG and build statistics.
+    pub fn store_oag(
+        &self,
+        g: &Hypergraph,
+        cfg: &OagConfig,
+        side: Side,
+        oag: &Oag,
+        stats: &OagBuildStats,
+    ) {
+        let _ =
+            self.write_atomically(&self.oag_path(g, cfg, side), |w| write_oag_entry(w, oag, stats));
+    }
+
+    fn count(&self, hit: bool, hits: &AtomicU64, misses: &AtomicU64) {
+        if hit { hits } else { misses }.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Write-to-temp + rename so concurrent harness processes never observe
+    /// a torn entry.
+    fn write_atomically(
+        &self,
+        path: &Path,
+        write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        write(&mut w)?;
+        w.flush()?;
+        drop(w);
+        fs::rename(&tmp, path)
+    }
+
+    /// One-line hit/miss summary for the run log.
+    pub fn summary(&self) -> String {
+        format!(
+            "preprocess cache [{}]: graphs {} hit / {} miss, oags {} hit / {} miss",
+            self.dir.display(),
+            self.graph_hits.load(Ordering::Relaxed),
+            self.graph_misses.load(Ordering::Relaxed),
+            self.oag_hits.load(Ordering::Relaxed),
+            self.oag_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total artifact hits (graphs + OAGs).
+    pub fn hits(&self) -> u64 {
+        self.graph_hits.load(Ordering::Relaxed) + self.oag_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total artifact misses (graphs + OAGs).
+    pub fn misses(&self) -> u64 {
+        self.graph_misses.load(Ordering::Relaxed) + self.oag_misses.load(Ordering::Relaxed)
+    }
+}
+
+fn write_oag_entry<W: Write>(mut w: W, oag: &Oag, stats: &OagBuildStats) -> io::Result<()> {
+    w.write_all(OAG_ENTRY_MAGIC)?;
+    w.write_all(&OAG_ENTRY_VERSION.to_le_bytes())?;
+    w.write_all(&stats.two_hop_steps.to_le_bytes())?;
+    w.write_all(&stats.pairs_considered.to_le_bytes())?;
+    w.write_all(&(stats.edges_kept as u64).to_le_bytes())?;
+    w.write_all(&stats.pivots_skipped.to_le_bytes())?;
+    w.write_all(&(stats.size_bytes as u64).to_le_bytes())?;
+    oag::io::write_binary(oag, w)
+}
+
+fn read_oag_entry<R: Read>(mut r: R) -> io::Result<(Oag, OagBuildStats)> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != OAG_ENTRY_MAGIC {
+        return Err(bad("bad cache entry magic"));
+    }
+    let mut word = [0u8; 4];
+    r.read_exact(&mut word)?;
+    if u32::from_le_bytes(word) != OAG_ENTRY_VERSION {
+        return Err(bad("unsupported cache entry version"));
+    }
+    let mut u64_field = || -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    };
+    let stats = OagBuildStats {
+        two_hop_steps: u64_field()?,
+        pairs_considered: u64_field()?,
+        edges_kept: u64_field()? as usize,
+        pivots_skipped: u64_field()?,
+        size_bytes: u64_field()? as usize,
+    };
+    let oag = oag::io::read_binary(BufReader::new(r))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((oag, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("chg-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn oag_roundtrip_is_exact() {
+        let dir = tmpdir("oag");
+        let cache = PreprocessCache::new(&dir).unwrap();
+        let g = crate::load_scaled(Dataset::LiveJournal, Scale(0.05));
+        let cfg = OagConfig::new();
+        let (oag, stats) = cfg.build_with_stats(&g, Side::Hyperedge);
+        assert!(cache.load_oag(&g, &cfg, Side::Hyperedge).is_none());
+        cache.store_oag(&g, &cfg, Side::Hyperedge, &oag, &stats);
+        let (oag2, stats2) = cache.load_oag(&g, &cfg, Side::Hyperedge).expect("hit");
+        assert_eq!(oag, oag2);
+        assert_eq!(stats, stats2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_and_side_distinguish_entries() {
+        let dir = tmpdir("keys");
+        let cache = PreprocessCache::new(&dir).unwrap();
+        let g = crate::load_scaled(Dataset::LiveJournal, Scale(0.05));
+        let cfg = OagConfig::new();
+        let (oag, stats) = cfg.build_with_stats(&g, Side::Hyperedge);
+        cache.store_oag(&g, &cfg, Side::Hyperedge, &oag, &stats);
+        assert!(cache.load_oag(&g, &cfg, Side::Vertex).is_none(), "side must key");
+        let other = cfg.with_w_min(7);
+        assert!(cache.load_oag(&g, &other, Side::Hyperedge).is_none(), "config must key");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn graph_roundtrip_is_exact() {
+        let dir = tmpdir("graph");
+        let cache = PreprocessCache::new(&dir).unwrap();
+        let g = crate::load_scaled(Dataset::Friendster, Scale(0.05));
+        assert!(cache.load_graph(Dataset::Friendster, Scale(0.05)).is_none());
+        cache.store_graph(Dataset::Friendster, Scale(0.05), &g);
+        let g2 = cache.load_graph(Dataset::Friendster, Scale(0.05)).expect("hit");
+        assert_eq!(g, g2);
+        assert!(cache.load_graph(Dataset::Friendster, Scale(0.1)).is_none(), "scale must key");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

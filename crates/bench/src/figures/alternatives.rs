@@ -1,7 +1,7 @@
 //! Alternatives: Figs. 23 (hardware prefetcher), 24 (reordering), and 25
 //! (ordinary-graph generality).
 
-use super::{fx, Harness, System};
+use super::{fx, grid, Harness, System};
 use crate::{load_graph_scaled, Table};
 use chgraph::baseline::reorder::run_reordered;
 use chgraph::{ChGraphRuntime, HatsVRuntime, HygraRuntime};
@@ -21,6 +21,11 @@ pub struct Fig23 {
 
 /// Regenerates Fig. 23 on the Web-trackers stand-in.
 pub fn fig23(h: &Harness) -> Fig23 {
+    h.prefetch(grid(
+        &Workload::HYPERGRAPH,
+        &[Dataset::WebTrackers],
+        &[System::Hygra, System::Prefetcher, System::ChGraph],
+    ));
     let mut table = Table::new(&[
         "workload",
         "Hygra cyc",
@@ -48,10 +53,7 @@ pub fn fig23(h: &Harness) -> Fig23 {
 
 impl fmt::Display for Fig23 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Fig. 23: ChGraph vs event-driven prefetcher on WEB (paper: 1.56x-2.88x)"
-        )?;
+        writeln!(f, "Fig. 23: ChGraph vs event-driven prefetcher on WEB (paper: 1.56x-2.88x)")?;
         write!(f, "{}", self.table)
     }
 }
@@ -68,13 +70,9 @@ pub struct Fig24 {
 
 /// Regenerates Fig. 24 with PageRank across the datasets.
 pub fn fig24(h: &Harness) -> Fig24 {
-    let mut table = Table::new(&[
-        "dataset",
-        "Hygra",
-        "Hygra+Reorder",
-        "ChGraph",
-        "ChGraph+Reorder",
-    ]);
+    h.prefetch(grid(&[Workload::Pr], &Dataset::ALL, &[System::Hygra, System::ChGraph]));
+    let mut table =
+        Table::new(&["dataset", "Hygra", "Hygra+Reorder", "ChGraph", "ChGraph+Reorder"]);
     let mut cells = Vec::new();
     for ds in Dataset::ALL {
         let g = h.graph(ds);
@@ -87,13 +85,7 @@ pub fn fig24(h: &Harness) -> Fig24 {
         let s_c = chg.total_speedup_over(&hygra);
         let s_cr = chg_re.total_speedup_over(&hygra);
         cells.push((ds, s_hr, s_c, s_cr));
-        table.row(&[
-            ds.abbrev().into(),
-            "1.00x".into(),
-            fx(s_hr),
-            fx(s_c),
-            fx(s_cr),
-        ]);
+        table.row(&[ds.abbrev().into(), "1.00x".into(), fx(s_hr), fx(s_c), fx(s_cr)]);
     }
     Fig24 { table, cells }
 }
@@ -122,9 +114,8 @@ pub struct Fig25 {
 /// 2-uniform input (a conventional graph framework is exactly Hygra's
 /// special case); HATS is the hardware traversal scheduler.
 pub fn fig25(h: &Harness) -> Fig25 {
-    let mut table = Table::new(&[
-        "workload", "graph", "Ligra cyc", "HATS", "ChGraph", "ChGraph vs HATS",
-    ]);
+    let mut table =
+        Table::new(&["workload", "graph", "Ligra cyc", "HATS", "ChGraph", "ChGraph vs HATS"]);
     let mut cells = Vec::new();
     for w in Workload::GRAPH {
         for gd in GraphDataset::ALL {

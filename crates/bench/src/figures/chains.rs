@@ -38,13 +38,21 @@ pub fn chains(h: &Harness) -> ChainsFigure {
     let mut rows = Vec::new();
     for ds in Dataset::ALL {
         let g = h.graph(ds);
-        let oag = OagConfig::new().build(&g, Side::Hyperedge);
+        // Reuse the harness's prepared hyperedge-side OAG when it was built
+        // with the figure's config; build fresh otherwise.
+        let prepared = (h.cfg.oag == OagConfig::new()).then(|| h.prepared(ds));
+        let built = prepared.is_none().then(|| OagConfig::new().build(&g, Side::Hyperedge));
+        let oag = prepared
+            .as_deref()
+            .map(|p| &p.hyperedge)
+            .or(built.as_ref())
+            .expect("one of the two sources is set");
         let chunks = partition(&g, Side::Hyperedge, 16);
         let frontier = Frontier::full(g.num_hyperedges());
         let mut merged = oag::ChainSet::new();
         let mut all = Vec::new();
         for c in &chunks {
-            let cs = generate_chains(&oag, &frontier, c.first..c.last, &ChainConfig::default());
+            let cs = generate_chains(oag, &frontier, c.first..c.last, &ChainConfig::default());
             all.push(cs);
         }
         // Merge stats across chunks by re-walking each set.

@@ -6,7 +6,7 @@
 //! energy from [`archsim::EnergyModel`], plus the ChGraph engine's own
 //! power (the §VI-E 61 mW per core-engine) integrated over the run.
 
-use super::{fx, Harness, System};
+use super::{fx, grid, Harness, System};
 use crate::Table;
 use archsim::EnergyModel;
 use chgraph::engine::EngineCostModel;
@@ -39,6 +39,7 @@ pub struct EnergyFigure {
 
 /// Regenerates the energy artifact.
 pub fn energy(h: &Harness) -> EnergyFigure {
+    h.prefetch(grid(&[Workload::Pr], &Dataset::ALL, &[System::Hygra, System::ChGraph]));
     let cores = h.cfg.system.num_cores;
     let mut table =
         Table::new(&["dataset", "Hygra (mJ)", "ChGraph (mJ)", "energy ratio", "dram share"]);

@@ -1,7 +1,7 @@
 //! Main results: Figs. 14 (performance), 15 (memory-access breakdown),
 //! 16 (HCG/CP ablation), and 22 (total time including preprocessing).
 
-use super::{fx, Harness, System};
+use super::{fx, grid, Harness, System};
 use crate::Table;
 use archsim::RegionGroup;
 use hyperalgos::Workload;
@@ -20,6 +20,11 @@ pub struct Fig14 {
 
 /// Regenerates Fig. 14.
 pub fn fig14(h: &Harness) -> Fig14 {
+    h.prefetch(grid(
+        &Workload::HYPERGRAPH,
+        &Dataset::ALL,
+        &[System::Hygra, System::Gla, System::ChGraph],
+    ));
     let mut table =
         Table::new(&["workload", "dataset", "Hygra cyc", "GLA", "ChGraph", "paper ChGraph"]);
     let mut cells = Vec::new();
@@ -81,8 +86,17 @@ pub struct Fig15 {
 
 /// Regenerates Fig. 15.
 pub fn fig15(h: &Harness) -> Fig15 {
+    h.prefetch(grid(&Workload::HYPERGRAPH, &Dataset::ALL, &[System::Hygra, System::ChGraph]));
     let mut table = Table::new(&[
-        "workload", "dataset", "system", "offsets", "incident", "values", "OAG", "other", "total",
+        "workload",
+        "dataset",
+        "system",
+        "offsets",
+        "incident",
+        "values",
+        "OAG",
+        "other",
+        "total",
         "reduction",
     ]);
     let mut reductions = Vec::new();
@@ -92,9 +106,7 @@ pub fn fig15(h: &Harness) -> Fig15 {
             let chg = h.report(ds, w, System::ChGraph);
             let red = chg.mem_reduction_over(&hygra);
             reductions.push((w, ds, red));
-            for (sys, r, red_str) in
-                [("H", &hygra, "1.00x".to_string()), ("C", &chg, fx(red))]
-            {
+            for (sys, r, red_str) in [("H", &hygra, "1.00x".to_string()), ("C", &chg, fx(red))] {
                 let mut row = vec![w.abbrev().into(), ds.abbrev().into(), sys.into()];
                 for grp in RegionGroup::ALL {
                     row.push(r.mem.main_memory_accesses_of_group(grp).to_string());
@@ -117,10 +129,7 @@ impl Fig15 {
 
 impl fmt::Display for Fig15 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Fig. 15: main-memory accesses by array group (paper reduction: 2.77x-4.56x)"
-        )?;
+        writeln!(f, "Fig. 15: main-memory accesses by array group (paper reduction: 2.77x-4.56x)")?;
         write!(f, "{}", self.table)?;
         writeln!(f, "mean reduction: {}", fx(self.mean_reduction()))
     }
@@ -137,8 +146,12 @@ pub struct Fig16 {
 
 /// Regenerates Fig. 16.
 pub fn fig16(h: &Harness) -> Fig16 {
-    let mut table =
-        Table::new(&["workload", "dataset", "GLA cyc", "+HCG", "+HCG+CP", "CP share"]);
+    h.prefetch(grid(
+        &Workload::HYPERGRAPH,
+        &Dataset::ALL,
+        &[System::Gla, System::HcgOnly, System::ChGraph],
+    ));
+    let mut table = Table::new(&["workload", "dataset", "GLA cyc", "+HCG", "+HCG+CP", "CP share"]);
     let mut cells = Vec::new();
     for w in Workload::HYPERGRAPH {
         for ds in Dataset::ALL {
@@ -176,10 +189,7 @@ impl Fig16 {
 
 impl fmt::Display for Fig16 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Fig. 16: ablation over software GLA (paper: HCG 4.42x, CP adds 1.37x)"
-        )?;
+        writeln!(f, "Fig. 16: ablation over software GLA (paper: HCG 4.42x, CP adds 1.37x)")?;
         write!(f, "{}", self.table)?;
         writeln!(
             f,
@@ -202,9 +212,9 @@ pub struct Fig22 {
 
 /// Regenerates Fig. 22.
 pub fn fig22(h: &Harness) -> Fig22 {
-    let mut table = Table::new(&[
-        "workload", "dataset", "exec speedup", "total speedup (incl. preprocessing)",
-    ]);
+    h.prefetch(grid(&Workload::HYPERGRAPH, &Dataset::ALL, &[System::Hygra, System::ChGraph]));
+    let mut table =
+        Table::new(&["workload", "dataset", "exec speedup", "total speedup (incl. preprocessing)"]);
     let mut cells = Vec::new();
     for w in Workload::HYPERGRAPH {
         for ds in Dataset::ALL {

@@ -4,6 +4,18 @@
 //! machine configuration and a memo of executed reports, so composite
 //! artifacts (Figs. 14, 15, 16, 22 share the same underlying runs) do not
 //! re-simulate.
+//!
+//! # Parallel evaluation
+//!
+//! The `(dataset, workload, system)` cells of the evaluation grid are
+//! independent cycle-level simulations, so the harness fans them out across
+//! worker threads ([`Harness::prefetch`], [`Harness::run_batch`]) with
+//! single-flight memoization: each key is computed exactly once no matter
+//! how many workers race for it, and every simulation itself is a pure
+//! function of its key plus the harness configuration. Figures are emitted
+//! serially from the warmed memo, so **output is bit-identical for any
+//! thread count** — parallelism only changes wall-clock time. See
+//! DESIGN.md §"Parallel evaluation".
 
 mod alternatives;
 mod chains;
@@ -23,17 +35,18 @@ pub use preprocessing::{fig21, Fig21};
 pub use sensitivity::{fig17, fig18, fig19, fig20, Fig17, Fig18, Fig19, Fig20};
 pub use statics::{area_table, table1, table2, AreaTable, Table1, Table2};
 
+use crate::cache::PreprocessCache;
 use crate::{load_scaled, Scale};
 use chgraph::{
     ChGraphRuntime, ExecutionReport, GlaRuntime, HatsVRuntime, HygraRuntime, PrefetcherRuntime,
-    RunConfig, Runtime,
+    PreparedOags, RunConfig, Runtime,
 };
-use hyperalgos::{run_workload, Workload};
+use hyperalgos::{run_workload_prepared, Workload};
 use hypergraph::datasets::Dataset;
-use hypergraph::Hypergraph;
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+use hypergraph::{Hypergraph, Side};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The systems compared across the evaluation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -75,17 +88,46 @@ impl System {
             System::Prefetcher => Box::new(PrefetcherRuntime),
         }
     }
+
+    /// Whether this system's runtime builds OAGs (and so benefits from the
+    /// harness's shared [`PreparedOags`]).
+    fn uses_oags(self) -> bool {
+        matches!(self, System::Gla | System::ChGraph | System::HcgOnly)
+    }
 }
 
-/// Execution context of the harness: scale, machine configuration, and a
-/// memo of `(dataset, workload, system)` reports.
+/// One evaluation-grid cell.
+pub type Job = (Dataset, Workload, System);
+
+/// A single-flight memo slot: cloned out of the table under the lock,
+/// initialized outside it. `OnceLock::get_or_init` blocks latecomers until
+/// the winner finishes, so each key is computed exactly once.
+type Slot<T> = Arc<OnceLock<T>>;
+
+fn slot_for<K, V>(table: &Mutex<HashMap<K, Slot<V>>>, key: K) -> Slot<V>
+where
+    K: std::hash::Hash + Eq,
+{
+    table.lock().expect("memo poisoned").entry(key).or_default().clone()
+}
+
+/// Execution context of the harness: scale, machine configuration, worker
+/// threads, an optional on-disk preprocessing cache, and memos of loaded
+/// graphs, prepared OAGs and `(dataset, workload, system)` reports.
+///
+/// The harness is `Sync`: all memo state is behind `Mutex`/`OnceLock`, and
+/// artifacts are handed out as `Arc`s shared between workers and figure
+/// emission.
 pub struct Harness {
     /// Dataset scale.
     pub scale: Scale,
     /// Run configuration used for every memoized execution.
     pub cfg: RunConfig,
-    graphs: RefCell<HashMap<Dataset, Rc<Hypergraph>>>,
-    reports: RefCell<HashMap<(Dataset, Workload, System), Rc<ExecutionReport>>>,
+    threads: usize,
+    cache: Option<Arc<PreprocessCache>>,
+    graphs: Mutex<HashMap<Dataset, Slot<Arc<Hypergraph>>>>,
+    prepared: Mutex<HashMap<Dataset, Slot<Arc<PreparedOags>>>>,
+    reports: Mutex<HashMap<Job, Slot<Arc<ExecutionReport>>>>,
 }
 
 impl Harness {
@@ -118,34 +160,120 @@ impl Harness {
         Harness {
             scale,
             cfg,
-            graphs: RefCell::new(HashMap::new()),
-            reports: RefCell::new(HashMap::new()),
+            threads: 1,
+            cache: None,
+            graphs: Mutex::new(HashMap::new()),
+            prepared: Mutex::new(HashMap::new()),
+            reports: Mutex::new(HashMap::new()),
         }
     }
 
+    /// Sets the worker-thread count used by [`prefetch`](Self::prefetch),
+    /// [`run_batch`](Self::run_batch) and OAG construction (minimum 1).
+    ///
+    /// Every figure, report and OAG is bit-identical for any value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches an on-disk preprocessing cache: loaded graphs and built
+    /// OAGs are persisted and restored across harness instances/processes.
+    pub fn with_cache(mut self, cache: Arc<PreprocessCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The attached preprocessing cache, if any (for run-log summaries).
+    pub fn cache(&self) -> Option<&PreprocessCache> {
+        self.cache.as_deref()
+    }
+
     /// The (cached) scaled stand-in hypergraph for `ds`.
-    pub fn graph(&self, ds: Dataset) -> Rc<Hypergraph> {
-        self.graphs
-            .borrow_mut()
-            .entry(ds)
-            .or_insert_with(|| Rc::new(load_scaled(ds, self.scale)))
+    pub fn graph(&self, ds: Dataset) -> Arc<Hypergraph> {
+        slot_for(&self.graphs, ds)
+            .get_or_init(|| {
+                if let Some(cache) = &self.cache {
+                    if let Some(g) = cache.load_graph(ds, self.scale) {
+                        return Arc::new(g);
+                    }
+                }
+                let g = load_scaled(ds, self.scale);
+                if let Some(cache) = &self.cache {
+                    cache.store_graph(ds, self.scale, &g);
+                }
+                Arc::new(g)
+            })
+            .clone()
+    }
+
+    /// The (cached) pre-built OAG pair for `ds` under the harness
+    /// configuration, shared by every chain-driven cell of the grid.
+    pub fn prepared(&self, ds: Dataset) -> Arc<PreparedOags> {
+        slot_for(&self.prepared, ds)
+            .get_or_init(|| {
+                let g = self.graph(ds);
+                let oag_cfg = self.cfg.oag;
+                let build_side = |side: Side| {
+                    if let Some(cache) = &self.cache {
+                        if let Some(hit) = cache.load_oag(&g, &oag_cfg, side) {
+                            return hit;
+                        }
+                    }
+                    let built = oag_cfg.build_with_stats_threads(&g, side, self.threads);
+                    if let Some(cache) = &self.cache {
+                        cache.store_oag(&g, &oag_cfg, side, &built.0, &built.1);
+                    }
+                    built
+                };
+                let hyperedge = build_side(Side::Hyperedge);
+                let vertex = build_side(Side::Vertex);
+                Arc::new(PreparedOags::from_parts(&g, oag_cfg, hyperedge, vertex))
+            })
             .clone()
     }
 
     /// The (memoized) execution report of `workload` on `ds` under `sys`.
-    pub fn report(&self, ds: Dataset, workload: Workload, sys: System) -> Rc<ExecutionReport> {
-        if let Some(r) = self.reports.borrow().get(&(ds, workload, sys)) {
-            return r.clone();
-        }
-        let g = self.graph(ds);
-        let runtime = sys.runtime();
-        let report = Rc::new(run_workload(workload, runtime.as_ref(), &g, &self.cfg));
-        self.reports.borrow_mut().insert((ds, workload, sys), report.clone());
-        report
+    pub fn report(&self, ds: Dataset, workload: Workload, sys: System) -> Arc<ExecutionReport> {
+        slot_for(&self.reports, (ds, workload, sys))
+            .get_or_init(|| {
+                let g = self.graph(ds);
+                let prepared = sys.uses_oags().then(|| self.prepared(ds));
+                let runtime = sys.runtime();
+                Arc::new(run_workload_prepared(
+                    workload,
+                    runtime.as_ref(),
+                    &g,
+                    &self.cfg,
+                    prepared.as_deref(),
+                ))
+            })
+            .clone()
+    }
+
+    /// Warms the report memo for `jobs` across the harness's worker
+    /// threads. Duplicate keys are deduplicated up front and raced keys are
+    /// single-flighted, so each simulation runs exactly once; the memo
+    /// contents — and therefore everything later emitted from it — are
+    /// bit-identical to computing the same keys serially.
+    pub fn prefetch(&self, jobs: impl IntoIterator<Item = Job>) {
+        let mut seen = HashSet::new();
+        let jobs: Vec<Job> = jobs.into_iter().filter(|j| seen.insert(*j)).collect();
+        self.for_each_parallel(jobs.len(), |i| {
+            let (ds, w, sys) = jobs[i];
+            self.report(ds, w, sys);
+        });
     }
 
     /// Runs `workload` on `ds` under `sys` with an explicit non-memoized
-    /// configuration (sensitivity sweeps).
+    /// configuration (sensitivity sweeps). Reuses the harness's prepared
+    /// OAGs when `cfg` keeps the harness's OAG parameters — permitted by
+    /// the `execute_prepared` bit-identity contract.
     pub fn run_with(
         &self,
         ds: Dataset,
@@ -154,8 +282,66 @@ impl Harness {
         cfg: &RunConfig,
     ) -> ExecutionReport {
         let g = self.graph(ds);
-        run_workload(workload, sys.runtime().as_ref(), &g, cfg)
+        let prepared = (sys.uses_oags() && cfg.oag == self.cfg.oag).then(|| self.prepared(ds));
+        run_workload_prepared(workload, sys.runtime().as_ref(), &g, cfg, prepared.as_deref())
     }
+
+    /// Runs a batch of independent explicit-configuration jobs across the
+    /// worker threads, returning reports **in job order** (results are
+    /// written into per-index slots, so completion order is irrelevant and
+    /// the output is bit-identical to a serial loop).
+    pub fn run_batch(
+        &self,
+        jobs: &[(Dataset, Workload, System, RunConfig)],
+    ) -> Vec<ExecutionReport> {
+        let slots: Vec<OnceLock<ExecutionReport>> =
+            (0..jobs.len()).map(|_| OnceLock::new()).collect();
+        self.for_each_parallel(jobs.len(), |i| {
+            let (ds, w, sys, cfg) = &jobs[i];
+            let report = self.run_with(*ds, *w, *sys, cfg);
+            let _ = slots[i].set(report);
+        });
+        slots.into_iter().map(|s| s.into_inner().expect("batch worker filled its slot")).collect()
+    }
+
+    /// Work-queue fan-out: indexes `0..n` are claimed from a shared atomic
+    /// counter by `min(threads, n)` scoped workers (or run inline when one
+    /// worker suffices). A worker panic propagates to the caller.
+    fn for_each_parallel(&self, n: usize, work: impl Fn(usize) + Sync) {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            for i in 0..n {
+                work(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    work(i);
+                });
+            }
+        });
+    }
+}
+
+/// The cross product of workloads × datasets × systems, for
+/// [`Harness::prefetch`].
+pub(crate) fn grid(workloads: &[Workload], datasets: &[Dataset], systems: &[System]) -> Vec<Job> {
+    let mut jobs = Vec::with_capacity(workloads.len() * datasets.len() * systems.len());
+    for &w in workloads {
+        for &ds in datasets {
+            for &sys in systems {
+                jobs.push((ds, w, sys));
+            }
+        }
+    }
+    jobs
 }
 
 /// Formats a ratio as `N.NNx`.
@@ -177,7 +363,7 @@ mod tests {
         let h = Harness::new(Scale(0.05));
         let a = h.report(Dataset::LiveJournal, Workload::Cc, System::Hygra);
         let b = h.report(Dataset::LiveJournal, Workload::Cc, System::Hygra);
-        assert!(Rc::ptr_eq(&a, &b), "second lookup must hit the memo");
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the memo");
     }
 
     #[test]
@@ -185,12 +371,67 @@ mod tests {
         let h = Harness::new(Scale(0.05));
         let a = h.graph(Dataset::Friendster);
         let b = h.graph(Dataset::Friendster);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
     fn system_labels() {
         assert_eq!(System::ChGraph.label(), "ChGraph");
         assert_eq!(System::HatsV.label(), "HATS-V");
+    }
+
+    #[test]
+    fn prefetch_parallel_matches_serial_reports() {
+        let jobs = grid(
+            &[Workload::Cc, Workload::Bfs],
+            &[Dataset::LiveJournal],
+            &[System::Hygra, System::ChGraph],
+        );
+        let serial = Harness::new(Scale(0.05));
+        let parallel = Harness::new(Scale(0.05)).with_threads(4);
+        parallel.prefetch(jobs.iter().copied());
+        for (ds, w, sys) in jobs {
+            assert_eq!(
+                *serial.report(ds, w, sys),
+                *parallel.report(ds, w, sys),
+                "{ds:?}/{w:?}/{sys:?} diverged between serial and parallel harness"
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_single_flights_duplicates() {
+        let h = Harness::new(Scale(0.05)).with_threads(4);
+        let job = (Dataset::LiveJournal, Workload::Cc, System::Hygra);
+        h.prefetch([job, job, job, job]);
+        let a = h.report(job.0, job.1, job.2);
+        let b = h.report(job.0, job.1, job.2);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn run_batch_preserves_job_order() {
+        let h = Harness::new(Scale(0.05)).with_threads(3);
+        let jobs: Vec<_> = [Workload::Cc, Workload::Bfs, Workload::Mis]
+            .into_iter()
+            .map(|w| (Dataset::LiveJournal, w, System::Hygra, h.cfg))
+            .collect();
+        let batch = h.run_batch(&jobs);
+        assert_eq!(batch.len(), 3);
+        for ((ds, w, sys, cfg), got) in jobs.iter().zip(&batch) {
+            assert_eq!(*got, h.run_with(*ds, *w, *sys, cfg), "{w:?} out of order");
+        }
+    }
+
+    #[test]
+    fn prepared_reuse_is_bit_identical() {
+        // The memoized path (prepared OAGs) must equal a direct
+        // run_workload with per-execution OAG builds.
+        let h = Harness::new(Scale(0.05));
+        let ds = Dataset::LiveJournal;
+        let g = h.graph(ds);
+        let direct = hyperalgos::run_workload(Workload::Cc, &ChGraphRuntime::new(), &g, &h.cfg);
+        let memoized = h.report(ds, Workload::Cc, System::ChGraph);
+        assert_eq!(direct, *memoized);
     }
 }

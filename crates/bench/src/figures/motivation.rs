@@ -1,6 +1,6 @@
 //! Motivation artifacts: Figs. 2, 3, 5, 7 and 8.
 
-use super::{fx, pct, Harness, System};
+use super::{fx, grid, pct, Harness, System};
 use crate::Table;
 use hyperalgos::Workload;
 use hypergraph::datasets::Dataset;
@@ -56,6 +56,11 @@ pub struct Fig3 {
 
 /// Regenerates Fig. 3.
 pub fn fig3(h: &Harness) -> Fig3 {
+    h.prefetch(grid(
+        &[Workload::Pr],
+        &[Dataset::WebTrackers],
+        &[System::Hygra, System::Gla, System::ChGraph],
+    ));
     let hygra = h.report(Dataset::WebTrackers, Workload::Pr, System::Hygra);
     let gla = h.report(Dataset::WebTrackers, Workload::Pr, System::Gla);
     let chg = h.report(Dataset::WebTrackers, Workload::Pr, System::ChGraph);
@@ -94,6 +99,7 @@ pub struct Fig5 {
 /// Regenerates Fig. 5 (BFS, PR, BC, CC across the five datasets).
 pub fn fig5(h: &Harness) -> Fig5 {
     let workloads = [Workload::Bfs, Workload::Pr, Workload::Bc, Workload::Cc];
+    h.prefetch(grid(&workloads, &Dataset::ALL, &[System::Hygra]));
     let mut table = Table::new(&["workload", "FS", "OK", "LJ", "WEB", "OG", "mean"]);
     let mut cells = Vec::new();
     for w in workloads {
@@ -130,6 +136,11 @@ pub struct Fig7 {
 
 /// Regenerates Fig. 7 on the Web-trackers stand-in.
 pub fn fig7(h: &Harness) -> Fig7 {
+    h.prefetch(grid(
+        &Workload::HYPERGRAPH,
+        &[Dataset::WebTrackers],
+        &[System::HatsV, System::ChGraph],
+    ));
     let mut table = Table::new(&["workload", "HATS-V cycles", "ChGraph cycles", "ChGraph speedup"]);
     let mut speedups = Vec::new();
     for w in Workload::HYPERGRAPH {
@@ -137,12 +148,7 @@ pub fn fig7(h: &Harness) -> Fig7 {
         let chg = h.report(Dataset::WebTrackers, w, System::ChGraph);
         let s = chg.speedup_over(&hats);
         speedups.push((w, s));
-        table.row(&[
-            w.abbrev().into(),
-            hats.cycles.to_string(),
-            chg.cycles.to_string(),
-            fx(s),
-        ]);
+        table.row(&[w.abbrev().into(), hats.cycles.to_string(), chg.cycles.to_string(), fx(s)]);
     }
     Fig7 { table, speedups }
 }

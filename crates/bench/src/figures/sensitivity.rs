@@ -20,6 +20,14 @@ pub struct Fig17 {
 /// Regenerates Fig. 17 (`D_max` in 2..=64).
 pub fn fig17(h: &Harness) -> Fig17 {
     let sweep = [2usize, 4, 8, 16, 32, 64];
+    let jobs: Vec<_> = Dataset::ALL
+        .into_iter()
+        .flat_map(|ds| {
+            sweep
+                .map(|d| (ds, Workload::Pr, System::ChGraph, h.cfg.with_chain(ChainConfig::new(d))))
+        })
+        .collect();
+    let mut reports = h.run_batch(&jobs).into_iter();
     let mut header = vec!["dataset".to_string()];
     header.extend(sweep.iter().map(|d| format!("D_max={d}")));
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -29,13 +37,12 @@ pub fn fig17(h: &Harness) -> Fig17 {
         let mut row = vec![ds.abbrev().to_string()];
         let mut base = 0u64;
         for (i, &d) in sweep.iter().enumerate() {
-            let cfg = h.cfg.with_chain(ChainConfig::new(d));
-            let r = h.run_with(ds, Workload::Pr, System::ChGraph, &cfg);
+            let r = reports.next().expect("one report per job");
             samples.push((d, ds, r.cycles));
             if i == 0 {
                 base = r.cycles;
             }
-            row.push(format!("{}", fx(base as f64 / r.cycles as f64)));
+            row.push(fx(base as f64 / r.cycles as f64));
         }
         table.row(&row);
     }
@@ -44,10 +51,7 @@ pub fn fig17(h: &Harness) -> Fig17 {
 
 impl fmt::Display for Fig17 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Fig. 17: ChGraph PR speedup vs D_max=2 (paper: sweet spot at 16)"
-        )?;
+        writeln!(f, "Fig. 17: ChGraph PR speedup vs D_max=2 (paper: sweet spot at 16)")?;
         write!(f, "{}", self.table)
     }
 }
@@ -64,6 +68,15 @@ pub struct Fig18 {
 /// Regenerates Fig. 18 (`W_min` in 1..=9), normalized to `W_min = 1`.
 pub fn fig18(h: &Harness) -> Fig18 {
     let sweep = [1u32, 3, 5, 7, 9];
+    let jobs: Vec<_> = Dataset::ALL
+        .into_iter()
+        .flat_map(|ds| {
+            sweep.map(|w| {
+                (ds, Workload::Pr, System::ChGraph, h.cfg.with_oag(OagConfig::new().with_w_min(w)))
+            })
+        })
+        .collect();
+    let mut reports = h.run_batch(&jobs).into_iter();
     let mut header = vec!["dataset".to_string()];
     header.extend(sweep.iter().map(|w| format!("W_min={w}")));
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -73,8 +86,7 @@ pub fn fig18(h: &Harness) -> Fig18 {
         let mut row = vec![ds.abbrev().to_string()];
         let mut base = 0u64;
         for (i, &w) in sweep.iter().enumerate() {
-            let cfg = h.cfg.with_oag(OagConfig::new().with_w_min(w));
-            let r = h.run_with(ds, Workload::Pr, System::ChGraph, &cfg);
+            let r = reports.next().expect("one report per job");
             samples.push((w, ds, r.cycles));
             if i == 0 {
                 base = r.cycles;
@@ -111,6 +123,20 @@ pub struct Fig19 {
 pub fn fig19(h: &Harness) -> Fig19 {
     let sweep = [32usize << 10, 64 << 10, 256 << 10, 1 << 20];
     let workloads = [Workload::Pr, Workload::Bfs, Workload::Cc];
+    let llc_cfg = |llc: usize| {
+        let scaled_llc = ((llc as f64 * h.scale.factor()) as usize).next_power_of_two();
+        h.cfg.with_system(h.cfg.system.with_llc_bytes(scaled_llc.max(16 << 10)))
+    };
+    let jobs: Vec<_> = workloads
+        .into_iter()
+        .flat_map(|w| {
+            [System::ChGraph, System::Hygra]
+                .into_iter()
+                .flat_map(move |sys| sweep.map(|llc| (Dataset::WebTrackers, w, sys, llc)))
+        })
+        .map(|(ds, w, sys, llc)| (ds, w, sys, llc_cfg(llc)))
+        .collect();
+    let mut reports = h.run_batch(&jobs).into_iter();
     let mut header = vec!["workload".to_string(), "system".to_string()];
     header.extend(sweep.iter().map(|b| format!("{} KB", b >> 10)));
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -121,11 +147,7 @@ pub fn fig19(h: &Harness) -> Fig19 {
             let mut row = vec![w.abbrev().to_string(), sys.label().to_string()];
             let mut base = 0u64;
             for (i, &llc) in sweep.iter().enumerate() {
-                let scaled_llc =
-                    ((llc as f64 * h.scale.factor()) as usize).next_power_of_two();
-                let cfg =
-                    h.cfg.with_system(h.cfg.system.with_llc_bytes(scaled_llc.max(16 << 10)));
-                let r = h.run_with(Dataset::WebTrackers, w, sys, &cfg);
+                let r = reports.next().expect("one report per job");
                 samples.push((llc, w, r.cycles, 0));
                 if i == 0 {
                     base = r.cycles;
@@ -161,6 +183,16 @@ pub struct Fig20 {
 pub fn fig20(h: &Harness) -> Fig20 {
     let sweep = [1usize, 2, 4, 8, 16];
     let datasets = [Dataset::WebTrackers, Dataset::LiveJournal];
+    let jobs: Vec<_> = datasets
+        .into_iter()
+        .flat_map(|ds| {
+            [System::ChGraph, System::Hygra]
+                .into_iter()
+                .flat_map(move |sys| sweep.map(move |c| (ds, Workload::Pr, sys, c)))
+        })
+        .map(|(ds, w, sys, c)| (ds, w, sys, h.cfg.with_system(h.cfg.system.with_cores(c))))
+        .collect();
+    let mut reports = h.run_batch(&jobs).into_iter();
     let mut header = vec!["dataset".to_string(), "system".to_string()];
     header.extend(sweep.iter().map(|c| format!("{c} cores")));
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -171,8 +203,7 @@ pub fn fig20(h: &Harness) -> Fig20 {
             let mut row = vec![ds.abbrev().to_string(), sys.label().to_string()];
             let mut base = 0u64;
             for (i, &c) in sweep.iter().enumerate() {
-                let cfg = h.cfg.with_system(h.cfg.system.with_cores(c));
-                let r = h.run_with(ds, Workload::Pr, sys, &cfg);
+                let r = reports.next().expect("one report per job");
                 samples.push((c, ds, sys.label(), r.cycles));
                 if i == 0 {
                     base = r.cycles;
@@ -214,18 +245,10 @@ mod tests {
         let f = fig20(&h);
         // More cores must never be catastrophically slower: compare 1 vs 16.
         for ds in [Dataset::WebTrackers, Dataset::LiveJournal] {
-            let one = f
-                .samples
-                .iter()
-                .find(|s| s.0 == 1 && s.1 == ds && s.2 == "ChGraph")
-                .unwrap()
-                .3;
-            let sixteen = f
-                .samples
-                .iter()
-                .find(|s| s.0 == 16 && s.1 == ds && s.2 == "ChGraph")
-                .unwrap()
-                .3;
+            let one =
+                f.samples.iter().find(|s| s.0 == 1 && s.1 == ds && s.2 == "ChGraph").unwrap().3;
+            let sixteen =
+                f.samples.iter().find(|s| s.0 == 16 && s.1 == ds && s.2 == "ChGraph").unwrap().3;
             assert!(sixteen < one, "{ds}: 16 cores must beat 1 core");
         }
     }

@@ -35,13 +35,33 @@ pub fn table1() -> Table1 {
     ]);
     t.row(&[
         "L1".into(),
-        format!("{}/core, {}-way, {} cyc", kb(paper.l1.size_bytes), paper.l1.ways, paper.l1.latency),
-        format!("{}/core, {}-way, {} cyc", kb(scaled.l1.size_bytes), scaled.l1.ways, scaled.l1.latency),
+        format!(
+            "{}/core, {}-way, {} cyc",
+            kb(paper.l1.size_bytes),
+            paper.l1.ways,
+            paper.l1.latency
+        ),
+        format!(
+            "{}/core, {}-way, {} cyc",
+            kb(scaled.l1.size_bytes),
+            scaled.l1.ways,
+            scaled.l1.latency
+        ),
     ]);
     t.row(&[
         "L2".into(),
-        format!("{}/core, {}-way, {} cyc", kb(paper.l2.size_bytes), paper.l2.ways, paper.l2.latency),
-        format!("{}/core, {}-way, {} cyc", kb(scaled.l2.size_bytes), scaled.l2.ways, scaled.l2.latency),
+        format!(
+            "{}/core, {}-way, {} cyc",
+            kb(paper.l2.size_bytes),
+            paper.l2.ways,
+            paper.l2.latency
+        ),
+        format!(
+            "{}/core, {}-way, {} cyc",
+            kb(scaled.l2.size_bytes),
+            scaled.l2.ways,
+            scaled.l2.latency
+        ),
     ]);
     t.row(&[
         "L3".into(),
@@ -98,7 +118,13 @@ pub struct Table2 {
 /// Regenerates Table II at the given scale.
 pub fn table2(scale: Scale) -> Table2 {
     let mut t = Table::new(&[
-        "dataset", "#vertices", "#hyperedges", "#bedges", "size", "k=2 shared", "k=7 shared",
+        "dataset",
+        "#vertices",
+        "#hyperedges",
+        "#bedges",
+        "size",
+        "k=2 shared",
+        "k=7 shared",
     ]);
     let mut rows = Vec::new();
     for ds in Dataset::ALL {

@@ -19,9 +19,11 @@
 //! where crossovers fall — are asserted by the integration tests in
 //! `tests/`.
 
+pub mod cache;
 pub mod figures;
 mod scale;
 mod table;
 
+pub use cache::PreprocessCache;
 pub use scale::{load_graph_scaled, load_scaled, Scale};
 pub use table::Table;

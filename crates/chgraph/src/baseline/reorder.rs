@@ -74,8 +74,8 @@ pub fn reorder(g: &Hypergraph) -> (Hypergraph, u64) {
     // Rebuild: row r of the new hyperedge CSR is old hyperedge with
     // h_new == r; entries renumbered through v_new.
     let mut rows: Vec<Vec<u32>> = vec![Vec::new(); nh];
-    for old_h in 0..nh {
-        let new_h = h_new[old_h] as usize;
+    for (old_h, &mapped) in h_new.iter().enumerate().take(nh) {
+        let new_h = mapped as usize;
         rows[new_h] =
             g.incidence(Side::Hyperedge, old_h as u32).iter().map(|&v| v_new[v as usize]).collect();
         // Sort incident vertices so close ids sit together in the line.
@@ -117,8 +117,9 @@ mod tests {
         assert!(ops >= g.num_bipartite_edges() as u64);
         // Degree multiset preserved.
         let degs = |g: &Hypergraph| {
-            let mut d: Vec<usize> =
-                (0..g.num_hyperedges()).map(|h| g.hyperedge_degree(HyperedgeId::from_index(h))).collect();
+            let mut d: Vec<usize> = (0..g.num_hyperedges())
+                .map(|h| g.hyperedge_degree(HyperedgeId::from_index(h)))
+                .collect();
             d.sort_unstable();
             d
         };
@@ -134,10 +135,7 @@ mod tests {
 
     #[test]
     fn reorder_improves_incident_id_locality() {
-        let g = hypergraph::datasets::Dataset::LiveJournal
-            .config()
-            .with_seed(123)
-            .generate();
+        let g = hypergraph::datasets::Dataset::LiveJournal.config().with_seed(123).generate();
         let spread = |g: &Hypergraph| -> f64 {
             let mut total = 0u64;
             let mut n = 0u64;
@@ -164,8 +162,7 @@ mod tests {
         // Every vertex id appears exactly once across incidence lists'
         // universe: check via degree > 0 count preserved.
         assert_eq!(r.num_vertices(), 7);
-        let total: usize =
-            (0..7).map(|v| r.vertex_degree(VertexId::from_index(v))).sum();
+        let total: usize = (0..7).map(|v| r.vertex_degree(VertexId::from_index(v))).sum();
         assert_eq!(total, 12);
     }
 }

@@ -158,13 +158,8 @@ mod tests {
     #[test]
     fn delivers_every_bipartite_edge_exactly_once() {
         let (g, hcg) = setup();
-        let cp = CpModel::default().run(
-            &g,
-            Side::Hyperedge,
-            hcg.chains.schedule(),
-            &hcg.emit_times,
-            1,
-        );
+        let cp =
+            CpModel::default().run(&g, Side::Hyperedge, hcg.chains.schedule(), &hcg.emit_times, 1);
         assert_eq!(cp.tuples.len(), g.num_bipartite_edges());
         // Each (src, dst) pair appears exactly as often as in the CSR.
         let mut seen = std::collections::HashMap::new();
@@ -181,13 +176,8 @@ mod tests {
     #[test]
     fn tuple_times_are_monotone() {
         let (g, hcg) = setup();
-        let cp = CpModel::default().run(
-            &g,
-            Side::Hyperedge,
-            hcg.chains.schedule(),
-            &hcg.emit_times,
-            1,
-        );
+        let cp =
+            CpModel::default().run(&g, Side::Hyperedge, hcg.chains.schedule(), &hcg.emit_times, 1);
         assert!(cp.tuples.windows(2).all(|w| w[0].ready_at <= w[1].ready_at));
         assert!(cp.cycles >= cp.tuples.last().unwrap().ready_at);
     }
@@ -195,13 +185,8 @@ mod tests {
     #[test]
     fn slow_core_back_pressures_the_cp() {
         let (g, hcg) = setup();
-        let fast = CpModel::default().run(
-            &g,
-            Side::Hyperedge,
-            hcg.chains.schedule(),
-            &hcg.emit_times,
-            1,
-        );
+        let fast =
+            CpModel::default().run(&g, Side::Hyperedge, hcg.chains.schedule(), &hcg.emit_times, 1);
         let slow = CpModel::default().run(
             &g,
             Side::Hyperedge,
@@ -219,8 +204,7 @@ mod tests {
         let (g, hcg) = setup();
         // Pretend the HCG were pathologically slow: inflate emission times.
         let late: Vec<u64> = hcg.emit_times.iter().map(|t| t * 1_000).collect();
-        let cp =
-            CpModel::default().run(&g, Side::Hyperedge, hcg.chains.schedule(), &late, 1);
+        let cp = CpModel::default().run(&g, Side::Hyperedge, hcg.chains.schedule(), &late, 1);
         assert!(cp.chain_fifo_empty_stalls > 0);
     }
 

@@ -147,12 +147,10 @@ impl HcgModel {
                 // Active-neighbors fetching + selection: scan edge lines
                 // until a valid successor appears.
                 let mut next_elem = None;
-                let mut scanned = 0usize;
-                for j in lo..hi {
-                    if scanned % 16 == 0 {
+                for (scanned, j) in (lo..hi).enumerate() {
+                    if scanned.is_multiple_of(16) {
                         cycle += 1 + lat.oag_edge_line;
                     }
-                    scanned += 1;
                     let cand = oag.edges()[j];
                     if (range.start..range.end).contains(&cand)
                         && !visited[vis(cand)]

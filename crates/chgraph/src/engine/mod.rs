@@ -84,12 +84,12 @@ impl EngineCostModel {
     /// memory-mapped configuration registers (Fig. 13).
     pub fn buffers(&self) -> [BufferSpec; 4] {
         [
-            BufferSpec { name: "HCG stack", entries: self.stack_depth, entry_bytes: 4 + 4 + 4 + 64 },
             BufferSpec {
-                name: "chain FIFO",
-                entries: self.chain_fifo_entries,
-                entry_bytes: 4,
+                name: "HCG stack",
+                entries: self.stack_depth,
+                entry_bytes: 4 + 4 + 4 + 64,
             },
+            BufferSpec { name: "chain FIFO", entries: self.chain_fifo_entries, entry_bytes: 4 },
             BufferSpec {
                 name: "bipartite-edge FIFO",
                 entries: self.edge_fifo_entries,

@@ -224,11 +224,8 @@ impl<'a> Driver<'a> {
         while iterations < max_iter && !frontier_v.is_empty() {
             self.algo.begin_iteration(self.g, &mut self.state, iterations);
             let frontier_e = self.run_phase(Side::Vertex, &frontier_v);
-            let frontier_e = if all_active {
-                Frontier::full(self.g.num_hyperedges())
-            } else {
-                frontier_e
-            };
+            let frontier_e =
+                if all_active { Frontier::full(self.g.num_hyperedges()) } else { frontier_e };
             let mut fv = if frontier_e.is_empty() {
                 Frontier::empty(self.g.num_vertices())
             } else {
@@ -272,9 +269,11 @@ impl<'a> Driver<'a> {
         let prefetch_mode = self.mode == ExecMode::IndexOrderedPrefetch;
         if prefetch_mode {
             // Warm-up: prefetch the first `distance` elements of each core.
-            for core in 0..n_cores {
-                for pos in 0..self.cfg.prefetcher_distance.min(schedules[core].elements.len()) {
-                    self.prefetch_element(core, src, schedules[core].elements[pos], pos);
+            for (core, schedule) in schedules.iter().enumerate().take(n_cores) {
+                let n = self.cfg.prefetcher_distance.min(schedule.elements.len());
+                for pos in 0..n {
+                    let elem = schedule.elements[pos];
+                    self.prefetch_element(core, src, elem, pos);
                 }
             }
         }
@@ -548,9 +547,7 @@ impl<'a> Driver<'a> {
         // the configuration step can detect this from the OAG header alone.
         let degenerate = chain_mode
             && matches!(self.mode, ExecMode::SoftwareChains | ExecMode::HardwareChains { .. })
-            && self
-                .oag_for(src)
-                .is_some_and(|oag| oag.num_edge_entries() < oag.len());
+            && self.oag_for(src).is_some_and(|oag| oag.num_edge_entries() < oag.len());
         let sparse = sparse || degenerate;
         let schedules: Vec<CoreSchedule> = if sparse {
             self.index_schedules(src, frontier)
@@ -663,14 +660,32 @@ impl<'a> Driver<'a> {
                     }
                     fn offsets_fetch(&mut self, element: u32) {
                         // DFS successor fetch: serially dependent.
-                        core_read_dep(self.m, self.t, self.core, self.pr.oag_offset, element as u64);
-                        core_read(self.m, self.t, self.core, self.pr.oag_offset, element as u64 + 1);
+                        core_read_dep(
+                            self.m,
+                            self.t,
+                            self.core,
+                            self.pr.oag_offset,
+                            element as u64,
+                        );
+                        core_read(
+                            self.m,
+                            self.t,
+                            self.core,
+                            self.pr.oag_offset,
+                            element as u64 + 1,
+                        );
                     }
                     fn edge_scan(&mut self, edge_index: usize) {
                         self.t.compute(cost::SW_EDGE);
                         core_read(self.m, self.t, self.core, self.pr.oag_edge, edge_index as u64);
                         // Visited-flag probe (random access into scratch).
-                        core_read(self.m, self.t, self.core, Region::Other, edge_index as u64 % self.g.num_on(self.src) as u64);
+                        core_read(
+                            self.m,
+                            self.t,
+                            self.core,
+                            Region::Other,
+                            edge_index as u64 % self.g.num_on(self.src) as u64,
+                        );
                     }
                     fn emit(&mut self, _element: u32) {
                         self.t.compute(cost::SW_EMIT);
@@ -747,7 +762,13 @@ impl<'a> Driver<'a> {
                         let line = edge_index as u64 / cost::IDS_PER_LINE;
                         if line != self.last_edge_line {
                             self.t.compute(cost::HW_OP);
-                            engine_read(self.m, self.t, self.core, self.pr.oag_edge, edge_index as u64);
+                            engine_read(
+                                self.m,
+                                self.t,
+                                self.core,
+                                self.pr.oag_edge,
+                                edge_index as u64,
+                            );
                             self.last_edge_line = line;
                         }
                     }
@@ -841,7 +862,14 @@ impl<'a> Driver<'a> {
                             let t = &mut self.hcg[core];
                             t.compute(cost::HW_OP);
                             let wb = bitmap_word(self.g, src, false, current);
-                            let a = m.access(core, Region::Bitmap, wb, AccessKind::Write, Level::L2, t.now());
+                            let a = m.access(
+                                core,
+                                Region::Bitmap,
+                                wb,
+                                AccessKind::Write,
+                                Level::L2,
+                                t.now(),
+                            );
                             t.charge(a);
                         }
                         elements.push(current);
@@ -863,7 +891,7 @@ impl<'a> Driver<'a> {
                             {
                                 let m = &mut self.machine;
                                 let t = &mut self.hcg[core];
-                                if (j - lo) as u64 % cost::IDS_PER_LINE == 0 {
+                                if ((j - lo) as u64).is_multiple_of(cost::IDS_PER_LINE) {
                                     t.compute(cost::HW_OP);
                                     engine_read(m, t, core, pr.src_incident, j as u64);
                                 }
@@ -881,7 +909,7 @@ impl<'a> Driver<'a> {
                                 {
                                     let m = &mut self.machine;
                                     let t = &mut self.hcg[core];
-                                    if (k - mlo) as u64 % cost::IDS_PER_LINE == 0 {
+                                    if ((k - mlo) as u64).is_multiple_of(cost::IDS_PER_LINE) {
                                         t.compute(cost::HW_OP);
                                         engine_read(m, t, core, opp_regions.src_incident, k as u64);
                                     }
@@ -930,10 +958,7 @@ mod tests {
 
     fn run_mode(g: &Hypergraph, mode: ExecMode) -> DriverOutput {
         let cfg = RunConfig::new().with_system(tiny_system());
-        let needs_oag = matches!(
-            mode,
-            ExecMode::SoftwareChains | ExecMode::HardwareChains { .. }
-        );
+        let needs_oag = matches!(mode, ExecMode::SoftwareChains | ExecMode::HardwareChains { .. });
         let (ho, vo) = if needs_oag {
             (
                 Some(OagConfig::new().with_w_min(1).build(g, Side::Hyperedge)),

@@ -74,12 +74,7 @@ pub fn layout_for(
 ///
 /// The region packs four bitmaps back to back:
 /// `[cur_vertex, cur_hyperedge, next_vertex, next_hyperedge]`.
-pub fn bitmap_word(
-    g: &Hypergraph,
-    side: hypergraph::Side,
-    next: bool,
-    id: u32,
-) -> u64 {
+pub fn bitmap_word(g: &Hypergraph, side: hypergraph::Side, next: bool, id: u32) -> u64 {
     let vw = g.num_vertices().div_ceil(64) as u64;
     let hw = g.num_hyperedges().div_ceil(64) as u64;
     let base = match (next, side) {

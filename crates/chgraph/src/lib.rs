@@ -54,4 +54,4 @@ pub use algorithm::{Algorithm, MinLabel, State, UpdateOutcome};
 pub use baseline::{HatsVRuntime, PrefetcherRuntime};
 pub use report::{EngineReport, ExecutionReport, PreprocessReport};
 pub use runtime::{RunConfig, Runtime};
-pub use runtimes::{ChGraphRuntime, GlaRuntime, HygraRuntime};
+pub use runtimes::{ChGraphRuntime, GlaRuntime, HygraRuntime, PreparedOags};

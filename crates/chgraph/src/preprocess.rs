@@ -41,8 +41,7 @@ pub fn bipartite_build_cycles(g: &Hypergraph) -> u64 {
 
 /// Cycle estimate of building one OAG from its construction statistics.
 pub fn oag_build_cycles(stats: &OagBuildStats) -> u64 {
-    (stats.two_hop_steps * CYCLES_PER_TWO_HOP_STEP
-        + stats.edges_kept as u64 * CYCLES_PER_OAG_EDGE)
+    (stats.two_hop_steps * CYCLES_PER_TWO_HOP_STEP + stats.edges_kept as u64 * CYCLES_PER_OAG_EDGE)
         / OAG_PARALLELISM
 }
 
@@ -60,7 +59,11 @@ pub fn report_plain(g: &Hypergraph) -> PreprocessReport {
 /// Assembles the [`PreprocessReport`] for a chain-driven runtime that built
 /// both OAGs. `merged` is the element-wise sum of the two sides' build
 /// statistics; `extra_bytes` the OAGs' combined storage.
-pub fn report_with_oag(g: &Hypergraph, merged: OagBuildStats, extra_bytes: usize) -> PreprocessReport {
+pub fn report_with_oag(
+    g: &Hypergraph,
+    merged: OagBuildStats,
+    extra_bytes: usize,
+) -> PreprocessReport {
     PreprocessReport {
         bipartite_build_ops: g.num_bipartite_edges() as u64,
         oag_build: Some(merged),
@@ -111,7 +114,13 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let a = OagBuildStats { two_hop_steps: 1, pairs_considered: 2, edges_kept: 3, pivots_skipped: 4, size_bytes: 5 };
+        let a = OagBuildStats {
+            two_hop_steps: 1,
+            pairs_considered: 2,
+            edges_kept: 3,
+            pivots_skipped: 4,
+            size_bytes: 5,
+        };
         let m = merge_stats(a, a);
         assert_eq!(m.two_hop_steps, 2);
         assert_eq!(m.edges_kept, 6);

@@ -82,8 +82,7 @@ impl ExecutionReport {
     /// Factor by which this run reduced off-chip main-memory accesses
     /// relative to `baseline` (>1 means fewer; Figs. 2, 15).
     pub fn mem_reduction_over(&self, baseline: &ExecutionReport) -> f64 {
-        baseline.mem.main_memory_accesses() as f64
-            / self.mem.main_memory_accesses().max(1) as f64
+        baseline.mem.main_memory_accesses() as f64 / self.mem.main_memory_accesses().max(1) as f64
     }
 
     /// Fraction of core-busy cycles stalled on main memory (Fig. 5).

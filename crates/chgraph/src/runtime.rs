@@ -34,6 +34,11 @@ pub struct RunConfig {
     /// from the previous phase's activation counter, so hardware can make
     /// the same decision. `0` disables the fallback.
     pub sparse_chain_divisor: usize,
+    /// Host worker threads used to *construct* OAGs. This is a build-speed
+    /// knob only: the OAG (and therefore every simulated result) is
+    /// bit-identical for any value — see
+    /// [`OagConfig::build_with_stats_threads`](oag::OagConfig::build_with_stats_threads).
+    pub oag_build_threads: usize,
 }
 
 impl RunConfig {
@@ -50,6 +55,7 @@ impl RunConfig {
             prefetcher_distance: 8,
             prefetcher_noise_pct: 20,
             sparse_chain_divisor: 12,
+            oag_build_threads: 1,
         }
     }
 
@@ -76,6 +82,13 @@ impl RunConfig {
         self.max_iterations = Some(n);
         self
     }
+
+    /// Sets the host thread count for OAG construction (minimum 1). Results
+    /// are bit-identical for any value; only wall-clock changes.
+    pub fn with_oag_build_threads(mut self, threads: usize) -> Self {
+        self.oag_build_threads = threads.max(1);
+        self
+    }
 }
 
 impl Default for RunConfig {
@@ -93,6 +106,25 @@ pub trait Runtime {
     /// Executes `algo` on `g` under this runtime, returning the full report
     /// (final state, cycles, memory statistics, preprocessing accounting).
     fn execute(&self, g: &Hypergraph, algo: &dyn Algorithm, cfg: &RunConfig) -> ExecutionReport;
+
+    /// Like [`execute`](Runtime::execute), but may reuse pre-built OAG
+    /// artifacts instead of rebuilding them per execution.
+    ///
+    /// The contract is strict: the report must be **bit-identical** to
+    /// `execute(g, algo, cfg)`. Implementations must therefore verify that
+    /// `prepared` matches `cfg.oag` (and rebuild if it does not), and the
+    /// default implementation simply ignores `prepared` — correct for
+    /// runtimes that never build OAGs.
+    fn execute_prepared(
+        &self,
+        g: &Hypergraph,
+        algo: &dyn Algorithm,
+        cfg: &RunConfig,
+        prepared: Option<&crate::PreparedOags>,
+    ) -> ExecutionReport {
+        let _ = prepared;
+        self.execute(g, algo, cfg)
+    }
 }
 
 #[cfg(test)]

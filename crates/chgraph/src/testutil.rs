@@ -1,7 +1,7 @@
 //! Test-support workloads shared by this crate's unit tests.
 
 use crate::{Algorithm, State, UpdateOutcome};
-use hypergraph::{Frontier, Hypergraph, HyperedgeId, VertexId};
+use hypergraph::{Frontier, HyperedgeId, Hypergraph, VertexId};
 
 /// A PageRank-like all-active accumulation workload: every element is active
 /// every iteration, values are reset per phase, and every bipartite edge
@@ -19,10 +19,7 @@ impl Algorithm for PrLike {
     }
 
     fn init(&self, g: &Hypergraph) -> (State, Frontier) {
-        (
-            State::filled(g, 1.0 / g.num_vertices() as f64, 0.0),
-            Frontier::full(g.num_vertices()),
-        )
+        (State::filled(g, 1.0 / g.num_vertices() as f64, 0.0), Frontier::full(g.num_vertices()))
     }
 
     fn begin_iteration(&self, _g: &Hypergraph, state: &mut State, _iteration: usize) {
@@ -40,8 +37,8 @@ impl Algorithm for PrLike {
     }
 
     fn apply_vf(&self, g: &Hypergraph, state: &mut State, h: u32, v: u32) -> UpdateOutcome {
-        state.vertex_value[v as usize] +=
-            state.hyperedge_value[h as usize] / g.hyperedge_degree(HyperedgeId::new(h)).max(1) as f64;
+        state.vertex_value[v as usize] += state.hyperedge_value[h as usize]
+            / g.hyperedge_degree(HyperedgeId::new(h)).max(1) as f64;
         UpdateOutcome::WROTE_AND_ACTIVATED
     }
 

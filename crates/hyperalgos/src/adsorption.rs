@@ -1,7 +1,7 @@
 //! Adsorption (label propagation with injection).
 
 use chgraph::{Algorithm, State, UpdateOutcome};
-use hypergraph::{Frontier, Hypergraph, HyperedgeId, VertexId};
+use hypergraph::{Frontier, HyperedgeId, Hypergraph, VertexId};
 
 /// Adsorption-style label propagation (the second generality-study workload
 /// of §VI-I). A sparse set of *seed* vertices carries a unit label prior;
@@ -29,7 +29,7 @@ impl Adsorption {
     }
 
     fn prior(&self, v: u32) -> f64 {
-        if v % self.seed_stride == 0 {
+        if v.is_multiple_of(self.seed_stride) {
             1.0
         } else {
             0.0

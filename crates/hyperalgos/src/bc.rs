@@ -127,12 +127,8 @@ impl BcBackward {
 impl BcBackward {
     /// Builds the backward pass from a finished forward state.
     pub fn from_forward(forward: &State) -> Self {
-        let max_level = forward
-            .vertex_value
-            .iter()
-            .copied()
-            .filter(|d| d.is_finite())
-            .fold(0.0f64, f64::max);
+        let max_level =
+            forward.vertex_value.iter().copied().filter(|d| d.is_finite()).fold(0.0f64, f64::max);
         BcBackward {
             vdist: forward.vertex_value.clone(),
             hdist: forward.hyperedge_value.clone(),
@@ -144,11 +140,7 @@ impl BcBackward {
     }
 
     fn vertices_at(&self, level: f64) -> impl Iterator<Item = u32> + '_ {
-        self.vdist
-            .iter()
-            .enumerate()
-            .filter(move |(_, &d)| d == level)
-            .map(|(v, _)| v as u32)
+        self.vdist.iter().enumerate().filter(move |(_, &d)| d == level).map(|(v, _)| v as u32)
     }
 }
 
@@ -226,9 +218,20 @@ pub fn run_bc(
     cfg: &RunConfig,
     source: VertexId,
 ) -> ExecutionReport {
-    let forward = runtime.execute(g, &BcForward { source }, cfg);
+    run_bc_prepared(runtime, g, cfg, source, None)
+}
+
+/// [`run_bc`] with optional pre-built OAG artifacts shared by both passes.
+pub fn run_bc_prepared(
+    runtime: &dyn Runtime,
+    g: &Hypergraph,
+    cfg: &RunConfig,
+    source: VertexId,
+    prepared: Option<&chgraph::PreparedOags>,
+) -> ExecutionReport {
+    let forward = runtime.execute_prepared(g, &BcForward { source }, cfg, prepared);
     let backward_algo = BcBackward::from_forward(&forward.state);
-    let mut backward = runtime.execute(g, &backward_algo, cfg);
+    let mut backward = runtime.execute_prepared(g, &backward_algo, cfg, prepared);
     backward.algorithm = "bc";
     backward.cycles += forward.cycles;
     backward.core_busy_cycles += forward.core_busy_cycles;
@@ -259,11 +262,8 @@ mod tests {
     #[test]
     fn forward_counts_paths_on_fig1() {
         let g = hypergraph::fig1_example();
-        let r = HygraRuntime.execute(
-            &g,
-            &BcForward { source: VertexId::new(0) },
-            &RunConfig::new(),
-        );
+        let r =
+            HygraRuntime.execute(&g, &BcForward { source: VertexId::new(0) }, &RunConfig::new());
         // v0 -> {h0, h2}; v4 is in both: two shortest paths.
         assert_eq!(r.state.vertex_aux[4], 2.0);
         assert_eq!(r.state.vertex_aux[6], 1.0); // only via h0
@@ -273,9 +273,7 @@ mod tests {
     #[test]
     fn bc_matches_reference_brandes() {
         for seed in [1u64, 8, 21] {
-            let g = hypergraph::generate::GeneratorConfig::new(150, 90)
-                .with_seed(seed)
-                .generate();
+            let g = hypergraph::generate::GeneratorConfig::new(150, 90).with_seed(seed).generate();
             let r = run_bc(&HygraRuntime, &g, &RunConfig::new(), VertexId::new(0));
             let (vd, hd) = reference::bc_single_source(&g, VertexId::new(0));
             assert!(close(&r.state.vertex_value, &vd), "vertex deltas diverge (seed {seed})");

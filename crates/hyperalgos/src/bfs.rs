@@ -86,9 +86,7 @@ mod tests {
     #[test]
     fn matches_reference_on_random_inputs() {
         for seed in [1u64, 7, 42] {
-            let g = hypergraph::generate::GeneratorConfig::new(400, 300)
-                .with_seed(seed)
-                .generate();
+            let g = hypergraph::generate::GeneratorConfig::new(400, 300).with_seed(seed).generate();
             let r = HygraRuntime.execute(&g, &Bfs::default(), &RunConfig::new());
             let (vd, hd) = reference::bfs(&g, VertexId::new(0));
             assert_eq!(r.state.vertex_value, vd, "seed {seed}");

@@ -70,9 +70,7 @@ mod tests {
     #[test]
     fn matches_reference_labels() {
         for seed in [3u64, 9] {
-            let g = hypergraph::generate::GeneratorConfig::new(300, 120)
-                .with_seed(seed)
-                .generate();
+            let g = hypergraph::generate::GeneratorConfig::new(300, 120).with_seed(seed).generate();
             let r = HygraRuntime.execute(&g, &ConnectedComponents, &RunConfig::new());
             let want = reference::connected_components(&g);
             assert_eq!(r.state.vertex_value, want, "seed {seed}");

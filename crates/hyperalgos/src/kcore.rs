@@ -1,7 +1,7 @@
 //! k-core decomposition by iterative peeling.
 
 use chgraph::{Algorithm, State, UpdateOutcome};
-use hypergraph::{Frontier, Hypergraph, HyperedgeId};
+use hypergraph::{Frontier, HyperedgeId, Hypergraph};
 
 /// k-core decomposition (peeling): repeatedly remove vertices incident to
 /// fewer than `k` alive hyperedges; a hyperedge dies when fewer than two of
@@ -279,9 +279,7 @@ mod tests {
     #[test]
     fn matches_reference_peeling() {
         for (seed, k) in [(1u64, 2usize), (5, 3), (9, 4)] {
-            let g = hypergraph::generate::GeneratorConfig::new(300, 200)
-                .with_seed(seed)
-                .generate();
+            let g = hypergraph::generate::GeneratorConfig::new(300, 200).with_seed(seed).generate();
             let r = HygraRuntime.execute(&g, &KCore::new(k), &RunConfig::new());
             let want = reference::kcore(&g, k);
             assert_eq!(KCore::core_members(&r.state), want, "seed {seed} k {k}");
@@ -301,9 +299,7 @@ mod tests {
     #[test]
     fn decomposition_matches_reference_coreness() {
         for seed in [1u64, 6] {
-            let g = hypergraph::generate::GeneratorConfig::new(250, 180)
-                .with_seed(seed)
-                .generate();
+            let g = hypergraph::generate::GeneratorConfig::new(250, 180).with_seed(seed).generate();
             let r = HygraRuntime.execute(&g, &CoreDecomposition::new(), &RunConfig::new());
             let got = CoreDecomposition::coreness(&r.state);
             let want = reference::coreness(&g);

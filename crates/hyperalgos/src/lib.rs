@@ -47,11 +47,11 @@ mod sssp;
 mod workload;
 
 pub use adsorption::Adsorption;
-pub use bc::{run_bc, BcBackward, BcForward};
+pub use bc::{run_bc, run_bc_prepared, BcBackward, BcForward};
 pub use bfs::Bfs;
 pub use cc::ConnectedComponents;
 pub use kcore::{CoreDecomposition, KCore};
 pub use mis::{Mis, MisStatus};
 pub use pagerank::PageRank;
 pub use sssp::Sssp;
-pub use workload::{default_source, run_workload, Workload};
+pub use workload::{default_source, run_workload, run_workload_prepared, Workload};

@@ -170,9 +170,7 @@ mod tests {
     #[test]
     fn random_inputs_yield_valid_maximal_sets() {
         for seed in [2u64, 11, 23] {
-            let g = hypergraph::generate::GeneratorConfig::new(300, 150)
-                .with_seed(seed)
-                .generate();
+            let g = hypergraph::generate::GeneratorConfig::new(300, 150).with_seed(seed).generate();
             let r = HygraRuntime.execute(&g, &Mis, &RunConfig::new());
             reference::assert_valid_mis(&g, &Mis::statuses(&r.state));
         }

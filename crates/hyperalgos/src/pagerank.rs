@@ -1,7 +1,7 @@
 //! PageRank — the paper's own formulation.
 
 use chgraph::{Algorithm, State, UpdateOutcome};
-use hypergraph::{Frontier, Hypergraph, HyperedgeId, VertexId};
+use hypergraph::{Frontier, HyperedgeId, Hypergraph, VertexId};
 
 /// Hypergraph PageRank, exactly as the paper's Algorithm 1 (lines 15–21):
 ///
@@ -96,7 +96,8 @@ mod tests {
     use chgraph::{ChGraphRuntime, HygraRuntime, RunConfig, Runtime};
 
     fn close(a: &[f64], b: &[f64], tol: f64) -> bool {
-        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol * x.abs().max(1e-12).max(y.abs()))
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol * x.abs().max(1e-12).max(y.abs()))
     }
 
     #[test]

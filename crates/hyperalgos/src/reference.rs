@@ -4,7 +4,7 @@
 //! textbook sequential algorithms — no scheduling, no simulation — so the
 //! test suite can check the GLA implementations end-to-end.
 
-use hypergraph::{Hypergraph, HyperedgeId, Side, VertexId};
+use hypergraph::{HyperedgeId, Hypergraph, Side, VertexId};
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Bipartite BFS: returns `(vertex_dists, hyperedge_dists)` in bipartite
@@ -220,7 +220,13 @@ pub fn bc_single_source(g: &Hypergraph, source: VertexId) -> (Vec<f64>, Vec<f64>
         Side::Vertex => id as usize,
         Side::Hyperedge => nv + id as usize,
     };
-    let side_of = |x: usize| if x < nv { (Side::Vertex, x as u32) } else { (Side::Hyperedge, (x - nv) as u32) };
+    let side_of = |x: usize| {
+        if x < nv {
+            (Side::Vertex, x as u32)
+        } else {
+            (Side::Hyperedge, (x - nv) as u32)
+        }
+    };
     let mut dist = vec![i64::MAX; n];
     let mut sigma = vec![0.0f64; n];
     let mut order = Vec::with_capacity(n);

@@ -1,7 +1,7 @@
 //! Single-source shortest paths (weighted, Bellman-Ford style).
 
 use chgraph::{Algorithm, State, UpdateOutcome};
-use hypergraph::{Frontier, Hypergraph, HyperedgeId, VertexId};
+use hypergraph::{Frontier, HyperedgeId, Hypergraph, VertexId};
 
 /// Single-source shortest paths with per-hyperedge weights.
 ///

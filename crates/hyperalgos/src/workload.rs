@@ -1,7 +1,9 @@
 //! The evaluation's workload set and a uniform entry point.
 
-use crate::{run_bc, Adsorption, Bfs, ConnectedComponents, CoreDecomposition, Mis, PageRank, Sssp};
-use chgraph::{ExecutionReport, RunConfig, Runtime};
+use crate::{
+    run_bc_prepared, Adsorption, Bfs, ConnectedComponents, CoreDecomposition, Mis, PageRank, Sssp,
+};
+use chgraph::{ExecutionReport, PreparedOags, RunConfig, Runtime};
 use hypergraph::{Hypergraph, VertexId};
 use std::fmt;
 
@@ -42,14 +44,8 @@ pub enum Workload {
 
 impl Workload {
     /// The six hypergraph workloads, in the paper's presentation order.
-    pub const HYPERGRAPH: [Workload; 6] = [
-        Workload::Bfs,
-        Workload::Pr,
-        Workload::Mis,
-        Workload::Bc,
-        Workload::Cc,
-        Workload::KCore,
-    ];
+    pub const HYPERGRAPH: [Workload; 6] =
+        [Workload::Bfs, Workload::Pr, Workload::Mis, Workload::Bc, Workload::Cc, Workload::KCore];
 
     /// The two ordinary-graph workloads of Fig. 25.
     pub const GRAPH: [Workload; 2] = [Workload::Adsorption, Workload::Sssp];
@@ -84,16 +80,30 @@ pub fn run_workload(
     g: &Hypergraph,
     cfg: &RunConfig,
 ) -> ExecutionReport {
+    run_workload_prepared(workload, runtime, g, cfg, None)
+}
+
+/// [`run_workload`] with optional pre-built OAG artifacts. Passing
+/// `Some(prepared)` skips per-execution OAG construction for chain-driven
+/// runtimes; the report is bit-identical either way (see
+/// [`Runtime::execute_prepared`]).
+pub fn run_workload_prepared(
+    workload: Workload,
+    runtime: &dyn Runtime,
+    g: &Hypergraph,
+    cfg: &RunConfig,
+    prepared: Option<&PreparedOags>,
+) -> ExecutionReport {
     let source = default_source(g);
     match workload {
-        Workload::Bfs => runtime.execute(g, &Bfs::new(source), cfg),
-        Workload::Pr => runtime.execute(g, &PageRank::new(), cfg),
-        Workload::Mis => runtime.execute(g, &Mis, cfg),
-        Workload::Bc => run_bc(runtime, g, cfg, source),
-        Workload::Cc => runtime.execute(g, &ConnectedComponents, cfg),
-        Workload::KCore => runtime.execute(g, &CoreDecomposition::new(), cfg),
-        Workload::Sssp => runtime.execute(g, &Sssp::new(source), cfg),
-        Workload::Adsorption => runtime.execute(g, &Adsorption::new(), cfg),
+        Workload::Bfs => runtime.execute_prepared(g, &Bfs::new(source), cfg, prepared),
+        Workload::Pr => runtime.execute_prepared(g, &PageRank::new(), cfg, prepared),
+        Workload::Mis => runtime.execute_prepared(g, &Mis, cfg, prepared),
+        Workload::Bc => run_bc_prepared(runtime, g, cfg, source, prepared),
+        Workload::Cc => runtime.execute_prepared(g, &ConnectedComponents, cfg, prepared),
+        Workload::KCore => runtime.execute_prepared(g, &CoreDecomposition::new(), cfg, prepared),
+        Workload::Sssp => runtime.execute_prepared(g, &Sssp::new(source), cfg, prepared),
+        Workload::Adsorption => runtime.execute_prepared(g, &Adsorption::new(), cfg, prepared),
     }
 }
 

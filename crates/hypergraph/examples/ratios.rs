@@ -2,8 +2,13 @@ use hypergraph::{datasets::Dataset, stats::sharable_ratio, Side};
 fn main() {
     for ds in Dataset::ALL {
         let g = ds.load();
-        println!("{ds}: V={} H={} BE={} k2={:.2} k7={:.2}", g.num_vertices(), g.num_hyperedges(),
+        println!(
+            "{ds}: V={} H={} BE={} k2={:.2} k7={:.2}",
+            g.num_vertices(),
+            g.num_hyperedges(),
             g.num_bipartite_edges(),
-            sharable_ratio(&g, Side::Vertex, 2), sharable_ratio(&g, Side::Vertex, 7));
+            sharable_ratio(&g, Side::Vertex, 2),
+            sharable_ratio(&g, Side::Vertex, 7)
+        );
     }
 }

@@ -99,7 +99,11 @@ impl DirectedHypergraphBuilder {
     /// Returns [`BuildDirectedError::VertexOutOfRange`] for out-of-range
     /// ids, and [`BuildDirectedError::EmptyHyperedge`] when both sets end up
     /// empty.
-    pub fn add_hyperedge<S, D>(&mut self, sources: S, destinations: D) -> Result<(), BuildDirectedError>
+    pub fn add_hyperedge<S, D>(
+        &mut self,
+        sources: S,
+        destinations: D,
+    ) -> Result<(), BuildDirectedError>
     where
         S: IntoIterator<Item = VertexId>,
         D: IntoIterator<Item = VertexId>,
@@ -195,9 +199,7 @@ mod tests {
     #[test]
     fn out_of_range_rolls_back_cleanly() {
         let mut b = DirectedHypergraphBuilder::new(2);
-        let err = b
-            .add_hyperedge([0, 5].map(VertexId::new), [1].map(VertexId::new))
-            .unwrap_err();
+        let err = b.add_hyperedge([0, 5].map(VertexId::new), [1].map(VertexId::new)).unwrap_err();
         assert!(matches!(err, BuildDirectedError::VertexOutOfRange { .. }));
         assert_eq!(b.num_hyperedges(), 0);
         // v0's speculative registration must have been rolled back.
@@ -209,10 +211,7 @@ mod tests {
     #[test]
     fn empty_both_sets_rejected() {
         let mut b = DirectedHypergraphBuilder::new(2);
-        assert_eq!(
-            b.add_hyperedge([], []),
-            Err(BuildDirectedError::EmptyHyperedge)
-        );
+        assert_eq!(b.add_hyperedge([], []), Err(BuildDirectedError::EmptyHyperedge));
     }
 
     #[test]

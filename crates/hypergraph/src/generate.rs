@@ -348,10 +348,8 @@ mod tests {
 
     #[test]
     fn hyperedge_degrees_bounded_by_template_plus_noise() {
-        let cfg = GeneratorConfig::new(2_000, 500)
-            .with_template_range(4, 12)
-            .with_noise(2)
-            .with_seed(5);
+        let cfg =
+            GeneratorConfig::new(2_000, 500).with_template_range(4, 12).with_noise(2).with_seed(5);
         let g = cfg.generate();
         for h in 0..g.num_hyperedges() {
             let d = g.hyperedge_degree(HyperedgeId::from_index(h));

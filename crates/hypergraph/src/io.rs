@@ -12,7 +12,7 @@
 //! exactly (incidence order preserved), so preprocessed inputs can be cached
 //! on disk between benchmark runs.
 
-use crate::{BuildHypergraphError, Hypergraph, HyperedgeId, HypergraphBuilder, VertexId};
+use crate::{BuildHypergraphError, HyperedgeId, Hypergraph, HypergraphBuilder, VertexId};
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -159,7 +159,6 @@ pub fn read_text<R: BufRead>(r: R) -> Result<Hypergraph, ReadHypergraphError> {
     Ok(builder.build())
 }
 
-
 /// Magic bytes of the binary hypergraph format.
 const BINARY_MAGIC: &[u8; 4] = b"CHGH";
 /// Version of the binary format.
@@ -252,8 +251,7 @@ pub fn read_binary<R: BufRead>(mut r: R) -> Result<Hypergraph, ReadHypergraphErr
     validate(&v_offsets, &v_targets, "vertex")?;
     let nv = v_offsets.len() - 1;
     let nh = h_offsets.len() - 1;
-    if h_targets.iter().any(|&v| v as usize >= nv) || v_targets.iter().any(|&h| h as usize >= nh)
-    {
+    if h_targets.iter().any(|&v| v as usize >= nv) || v_targets.iter().any(|&h| h as usize >= nh) {
         return Err(ReadHypergraphError::BadHeader("dangling CSR target".into()));
     }
     Ok(Hypergraph::from_directed_csr(
@@ -319,10 +317,7 @@ mod tests {
     #[test]
     fn wrong_count_is_reported() {
         let err = read_text("3 5\n0 1\n".as_bytes()).unwrap_err();
-        assert!(matches!(
-            err,
-            ReadHypergraphError::WrongHyperedgeCount { expected: 5, found: 1 }
-        ));
+        assert!(matches!(err, ReadHypergraphError::WrongHyperedgeCount { expected: 5, found: 1 }));
     }
 
     #[test]
@@ -359,10 +354,7 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         let mut bad = buf.clone();
         bad[0] = b'X';
-        assert!(matches!(
-            read_binary(&bad[..]).unwrap_err(),
-            ReadHypergraphError::BadHeader(_)
-        ));
+        assert!(matches!(read_binary(&bad[..]).unwrap_err(), ReadHypergraphError::BadHeader(_)));
         let truncated = &buf[..buf.len() - 3];
         assert!(matches!(read_binary(truncated).unwrap_err(), ReadHypergraphError::Io(_)));
     }

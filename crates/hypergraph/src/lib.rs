@@ -44,9 +44,9 @@
 
 mod build;
 pub mod chunk;
-pub mod directed;
 mod csr;
 pub mod datasets;
+pub mod directed;
 mod frontier;
 pub mod generate;
 mod graph;
@@ -71,8 +71,7 @@ pub use ids::{HyperedgeId, Side, VertexId};
 pub fn fig1_example() -> Hypergraph {
     let mut b = HypergraphBuilder::new(7);
     for he in [&[0u32, 4, 6][..], &[1, 2, 3, 5], &[0, 2, 4], &[1, 3]] {
-        b.add_hyperedge(he.iter().copied().map(VertexId::new))
-            .expect("fig1 hyperedges are valid");
+        b.add_hyperedge(he.iter().copied().map(VertexId::new)).expect("fig1 hyperedges are valid");
     }
     b.build()
 }

@@ -189,7 +189,6 @@ mod tests {
         b.build()
     }
 
-
     #[test]
     fn partition_is_balanced() {
         let g = shuffled_families();
@@ -213,8 +212,7 @@ mod tests {
         let smart = streaming_partition(&g, k);
         // Contiguous chunking of the shuffled input as the baseline.
         let chunk = g.num_hyperedges().div_ceil(k);
-        let contiguous: Vec<u32> =
-            (0..g.num_hyperedges()).map(|h| (h / chunk) as u32).collect();
+        let contiguous: Vec<u32> = (0..g.num_hyperedges()).map(|h| (h / chunk) as u32).collect();
         let smart_rate = co_location_rate(&g, &smart, 3);
         let contiguous_rate = co_location_rate(&g, &contiguous, 3);
         assert!(

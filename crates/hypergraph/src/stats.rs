@@ -29,7 +29,11 @@ pub fn sharable_ratio(g: &Hypergraph, side: Side, k: usize) -> f64 {
 }
 
 /// The full sharable-ratio curve for `k` in `ks`, e.g. `2..=10` for Fig. 8.
-pub fn sharable_curve(g: &Hypergraph, side: Side, ks: impl IntoIterator<Item = usize>) -> Vec<(usize, f64)> {
+pub fn sharable_curve(
+    g: &Hypergraph,
+    side: Side,
+    ks: impl IntoIterator<Item = usize>,
+) -> Vec<(usize, f64)> {
     ks.into_iter().map(|k| (k, sharable_ratio(g, side, k))).collect()
 }
 

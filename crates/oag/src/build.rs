@@ -9,6 +9,7 @@
 use crate::Oag;
 use hypergraph::{Hypergraph, Side};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// Configuration of OAG construction.
 ///
@@ -68,6 +69,84 @@ impl OagConfig {
 
     /// Builds the OAG and reports preprocessing statistics (Fig. 21).
     pub fn build_with_stats(&self, g: &Hypergraph, side: Side) -> (Oag, OagBuildStats) {
+        self.build_with_stats_threads(g, side, 1)
+    }
+
+    /// Builds the OAG across `threads` worker threads.
+    ///
+    /// The result is **bit-identical** to the serial build for any thread
+    /// count: each row of the OAG depends only on its own source element, so
+    /// the source range is split into contiguous spans, every span is counted
+    /// with private scratch buffers, and the spans are concatenated back in
+    /// index order. The descending-weight / ascending-id row order (the
+    /// storage contract of the hardware's neighbor-selection stage) is
+    /// established per row and therefore unaffected by the split.
+    pub fn build_threads(&self, g: &Hypergraph, side: Side, threads: usize) -> Oag {
+        self.build_with_stats_threads(g, side, threads).0
+    }
+
+    /// Builds the OAG and statistics across `threads` worker threads (see
+    /// [`build_threads`](Self::build_threads) for the determinism contract).
+    pub fn build_with_stats_threads(
+        &self,
+        g: &Hypergraph,
+        side: Side,
+        threads: usize,
+    ) -> (Oag, OagBuildStats) {
+        let n = g.num_on(side);
+        let threads = threads.max(1).min(n.max(1));
+        let spans: Vec<Range<u32>> = {
+            let per = n.div_ceil(threads);
+            (0..threads)
+                .map(|t| {
+                    let lo = (t * per).min(n) as u32;
+                    let hi = ((t + 1) * per).min(n) as u32;
+                    lo..hi
+                })
+                .collect()
+        };
+        let parts: Vec<SpanRows> = if threads == 1 {
+            spans.into_iter().map(|s| self.count_span(g, side, s)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = spans
+                    .into_iter()
+                    .map(|s| scope.spawn(move || self.count_span(g, side, s)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("OAG span worker panicked")).collect()
+            })
+        };
+
+        // Merge spans in index order: offsets by prefix sum, edge/weight
+        // arrays by concatenation, statistics by field-wise summation.
+        let mut stats = OagBuildStats::default();
+        let total: usize = parts.iter().map(|p| p.edges.len()).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut edges = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        let mut running = 0u64;
+        for part in parts {
+            for len in part.row_lens {
+                running += len as u64;
+                offsets.push(u32::try_from(running).expect("OAG edge count fits u32"));
+            }
+            edges.extend_from_slice(&part.edges);
+            weights.extend_from_slice(&part.weights);
+            stats.two_hop_steps += part.stats.two_hop_steps;
+            stats.pairs_considered += part.stats.pairs_considered;
+            stats.edges_kept += part.stats.edges_kept;
+            stats.pivots_skipped += part.stats.pivots_skipped;
+        }
+        let oag = Oag::from_parts(side, self.w_min, offsets, edges, weights);
+        stats.size_bytes = oag.size_bytes();
+        (oag, stats)
+    }
+
+    /// Two-hop counting for a contiguous span of source elements. All
+    /// scratch — the sparse counter, the touched list, and the per-row
+    /// candidate buffer — is allocated once per span and reused across rows.
+    fn count_span(&self, g: &Hypergraph, side: Side, span: Range<u32>) -> SpanRows {
         let n = g.num_on(side);
         let mut stats = OagBuildStats::default();
 
@@ -75,9 +154,15 @@ impl OagConfig {
         // row; `touched` remembers which slots to reset.
         let mut counts = vec![0u32; n];
         let mut touched: Vec<u32> = Vec::new();
+        let mut row: Vec<(u32, u32)> = Vec::new(); // (neighbor, weight)
 
-        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n]; // (neighbor, weight)
-        for a in 0..n as u32 {
+        let mut out = SpanRows {
+            row_lens: Vec::with_capacity(span.len()),
+            edges: Vec::new(),
+            weights: Vec::new(),
+            stats: OagBuildStats::default(),
+        };
+        for a in span {
             for &mid in g.incidence(side, a) {
                 let pivot_deg = g.degree(side.opposite(), mid);
                 if pivot_deg as u64 > self.max_pivot_degree as u64 {
@@ -95,7 +180,7 @@ impl OagConfig {
                     counts[b as usize] += 1;
                 }
             }
-            let mut row: Vec<(u32, u32)> = Vec::with_capacity(touched.len().min(16));
+            row.clear();
             for &b in &touched {
                 let w = counts[b as usize];
                 counts[b as usize] = 0;
@@ -110,25 +195,23 @@ impl OagConfig {
             row.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
             row.truncate(self.max_degree as usize);
             stats.edges_kept += row.len();
-            rows[a as usize] = row;
-        }
-
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0u32);
-        let total: usize = rows.iter().map(Vec::len).sum();
-        let mut edges = Vec::with_capacity(total);
-        let mut weights = Vec::with_capacity(total);
-        for row in rows {
-            for (b, w) in row {
-                edges.push(b);
-                weights.push(w);
+            out.row_lens.push(row.len() as u32);
+            for &(b, w) in &row {
+                out.edges.push(b);
+                out.weights.push(w);
             }
-            offsets.push(u32::try_from(edges.len()).expect("OAG edge count fits u32"));
         }
-        let oag = Oag::from_parts(side, self.w_min, offsets, edges, weights);
-        stats.size_bytes = oag.size_bytes();
-        (oag, stats)
+        out.stats = stats;
+        out
     }
+}
+
+/// Rows produced for one contiguous span of source elements.
+struct SpanRows {
+    row_lens: Vec<u32>,
+    edges: Vec<u32>,
+    weights: Vec<u32>,
+    stats: OagBuildStats,
 }
 
 impl Default for OagConfig {
@@ -161,7 +244,8 @@ mod tests {
     #[test]
     fn symmetric_weights() {
         let g = GeneratorConfig::new(400, 300).with_seed(21).generate();
-        let oag = OagConfig::new().with_w_min(1).with_max_degree(u32::MAX).build(&g, Side::Hyperedge);
+        let oag =
+            OagConfig::new().with_w_min(1).with_max_degree(u32::MAX).build(&g, Side::Hyperedge);
         for a in 0..oag.len() as u32 {
             for (&b, &w) in oag.neighbors(a).iter().zip(oag.weights_of(a)) {
                 assert_eq!(oag.weight(b, a), Some(w), "edge ({a},{b}) not symmetric");
@@ -172,7 +256,8 @@ mod tests {
     #[test]
     fn matches_naive_reference_on_small_inputs() {
         let g = GeneratorConfig::new(120, 80).with_seed(33).generate();
-        let oag = OagConfig::new().with_w_min(2).with_max_degree(u32::MAX).build(&g, Side::Hyperedge);
+        let oag =
+            OagConfig::new().with_w_min(2).with_max_degree(u32::MAX).build(&g, Side::Hyperedge);
         // Naive O(|H|^2) intersection counting.
         for a in 0..g.num_hyperedges() as u32 {
             for b in 0..g.num_hyperedges() as u32 {
@@ -218,7 +303,8 @@ mod tests {
     #[test]
     fn degree_cap_keeps_heaviest() {
         let g = GeneratorConfig::new(300, 400).with_seed(5).generate();
-        let full = OagConfig::new().with_w_min(1).with_max_degree(u32::MAX).build(&g, Side::Hyperedge);
+        let full =
+            OagConfig::new().with_w_min(1).with_max_degree(u32::MAX).build(&g, Side::Hyperedge);
         let capped = OagConfig::new().with_w_min(1).with_max_degree(2).build(&g, Side::Hyperedge);
         for a in 0..capped.len() as u32 {
             assert!(capped.degree(a) <= 2);
@@ -241,10 +327,10 @@ mod tests {
     #[test]
     fn pivot_cap_reduces_work() {
         let g = GeneratorConfig::new(500, 800).with_seed(77).generate();
-        let (_, full) = OagConfig::new()
-            .with_max_pivot_degree(u32::MAX)
-            .build_with_stats(&g, Side::Hyperedge);
-        let (_, capped) = OagConfig::new().with_max_pivot_degree(8).build_with_stats(&g, Side::Hyperedge);
+        let (_, full) =
+            OagConfig::new().with_max_pivot_degree(u32::MAX).build_with_stats(&g, Side::Hyperedge);
+        let (_, capped) =
+            OagConfig::new().with_max_pivot_degree(8).build_with_stats(&g, Side::Hyperedge);
         assert!(capped.two_hop_steps < full.two_hop_steps);
         assert!(capped.pivots_skipped > 0);
         assert_eq!(full.pivots_skipped, 0);

@@ -101,10 +101,7 @@ impl Oag {
 
     /// The weight of edge `(a, b)`, if present.
     pub fn weight(&self, a: u32, b: u32) -> Option<u32> {
-        self.neighbors(a)
-            .iter()
-            .position(|&n| n == b)
-            .map(|i| self.weights_of(a)[i])
+        self.neighbors(a).iter().position(|&n| n == b).map(|i| self.weights_of(a)[i])
     }
 
     /// Raw `OAG_offset` array.

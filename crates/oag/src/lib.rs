@@ -44,5 +44,7 @@ pub mod quality;
 
 pub use build::{OagBuildStats, OagConfig};
 pub use chain::ChainSet;
-pub use generate::{generate_chains, generate_chains_observed, ChainConfig, ChainObserver, NoopObserver};
+pub use generate::{
+    generate_chains, generate_chains_observed, ChainConfig, ChainObserver, NoopObserver,
+};
 pub use graph::Oag;

@@ -143,7 +143,8 @@ mod tests {
         let g = family_graph();
         let oag = OagConfig::new().build(&g, Side::Hyperedge);
         let n = g.num_hyperedges() as u32;
-        let chains = generate_chains(&oag, &Frontier::full(n as usize), 0..n, &ChainConfig::default());
+        let chains =
+            generate_chains(&oag, &Frontier::full(n as usize), 0..n, &ChainConfig::default());
         let chain_frac = shared_incidence_fraction(&g, Side::Hyperedge, chains.schedule());
         let index: Vec<u32> = (0..n).collect();
         let index_frac = shared_incidence_fraction(&g, Side::Hyperedge, &index);
@@ -158,7 +159,8 @@ mod tests {
         let g = family_graph();
         let oag = OagConfig::new().build(&g, Side::Hyperedge);
         let n = g.num_hyperedges() as u32;
-        let chains = generate_chains(&oag, &Frontier::full(n as usize), 0..n, &ChainConfig::default());
+        let chains =
+            generate_chains(&oag, &Frontier::full(n as usize), 0..n, &ChainConfig::default());
         let f = chained_incidence_fraction(&g, Side::Hyperedge, &chains);
         assert!((0.0..=1.0).contains(&f));
         assert!(f > 0.2, "family input must yield substantial chained reuse ({f:.3})");
@@ -170,8 +172,7 @@ mod tests {
         assert_eq!(chain_stats(&empty), ChainStats::default());
         let g = hypergraph::fig1_example();
         let oag = OagConfig::new().with_w_min(3).build(&g, Side::Hyperedge);
-        let chains =
-            generate_chains(&oag, &Frontier::full(4), 0..4, &ChainConfig::default());
+        let chains = generate_chains(&oag, &Frontier::full(4), 0..4, &ChainConfig::default());
         let s = chain_stats(&chains);
         assert_eq!(s.num_chains, 4, "W_min=3 isolates every hyperedge of fig1");
         assert_eq!(s.singleton_fraction, 1.0);
@@ -183,7 +184,8 @@ mod tests {
         let g = family_graph();
         let oag = OagConfig::new().build(&g, Side::Hyperedge);
         let n = g.num_hyperedges() as u32;
-        let chains = generate_chains(&oag, &Frontier::full(n as usize), 0..n, &ChainConfig::default());
+        let chains =
+            generate_chains(&oag, &Frontier::full(n as usize), 0..n, &ChainConfig::default());
         let s = chain_stats(&chains);
         assert!(s.element_weighted_len >= s.mean_len);
         assert!(s.max_len <= 16);

@@ -9,7 +9,7 @@
 //! cargo run --release --example ordinary_graphs
 //! ```
 
-use chgraph::{ChGraphRuntime, HatsVRuntime, HygraRuntime, Runtime, RunConfig};
+use chgraph::{ChGraphRuntime, HatsVRuntime, HygraRuntime, RunConfig, Runtime};
 use hyperalgos::{run_workload, Workload};
 use hypergraph::datasets::GraphDataset;
 

@@ -31,10 +31,15 @@ fn main() {
     let run = hcg.run(&oag, &frontier, chunk.first..chunk.last, 0);
     let stats = chain_stats(&run.chains);
     println!("\nHCG (4-stage pipeline, {}-deep stack):", hcg.stack_depth);
-    println!("  chains:            {} (mean len {:.1}, element-weighted {:.1})",
-        stats.num_chains, stats.mean_len, stats.element_weighted_len);
-    println!("  cycles:            {} ({:.1}/element)", run.cycles,
-        run.cycles as f64 / chunk.len() as f64);
+    println!(
+        "  chains:            {} (mean len {:.1}, element-weighted {:.1})",
+        stats.num_chains, stats.mean_len, stats.element_weighted_len
+    );
+    println!(
+        "  cycles:            {} ({:.1}/element)",
+        run.cycles,
+        run.cycles as f64 / chunk.len() as f64
+    );
     println!("  chain FIFO peak:   {} / {}", run.fifo_peak, hcg.fifo_capacity);
     println!(
         "  chained reuse:     {:.1}% of incident accesses covered by the predecessor",
@@ -43,7 +48,10 @@ fn main() {
 
     // --- Chain-driven prefetcher, against three core speeds ---
     println!("\nCP (4-stage pipeline, 32-entry bipartite-edge FIFO):");
-    println!("  {:>18} {:>12} {:>14} {:>16}", "core cyc/tuple", "CP cycles", "starved cyc", "back-pressure cyc");
+    println!(
+        "  {:>18} {:>12} {:>14} {:>16}",
+        "core cyc/tuple", "CP cycles", "starved cyc", "back-pressure cyc"
+    );
     for core_period in [1u64, 8, 64] {
         let cp = CpModel::default().run(
             &g,

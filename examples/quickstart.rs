@@ -27,7 +27,10 @@ fn main() {
     let gla = GlaRuntime.execute(&g, &pr, &cfg);
     let chg = ChGraphRuntime::new().execute(&g, &pr, &cfg);
 
-    println!("\n{:<10} {:>14} {:>16} {:>10} {:>12}", "system", "cycles", "dram accesses", "speedup", "dram redux");
+    println!(
+        "\n{:<10} {:>14} {:>16} {:>10} {:>12}",
+        "system", "cycles", "dram accesses", "speedup", "dram redux"
+    );
     for r in [&hygra, &gla, &chg] {
         println!(
             "{:<10} {:>14} {:>16} {:>9.2}x {:>11.2}x",

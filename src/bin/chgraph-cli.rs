@@ -12,8 +12,7 @@
 
 use archsim::SystemConfig;
 use chgraph::{
-    ChGraphRuntime, GlaRuntime, HatsVRuntime, HygraRuntime, PrefetcherRuntime,
-    RunConfig, Runtime,
+    ChGraphRuntime, GlaRuntime, HatsVRuntime, HygraRuntime, PrefetcherRuntime, RunConfig, Runtime,
 };
 use hyperalgos::{run_workload, Workload};
 use hypergraph::datasets::Dataset;
@@ -27,6 +26,9 @@ fn usage() -> ExitCode {
          \x20                 --runtime <hygra|gla|chgraph|hcg|hats|prefetcher>\n\
          \x20                 (--dataset <FS|OK|LJ|WEB|OG> | --input <file.hgr>)\n\
          \x20                 [--cores <n>] [--dmax <n>] [--wmin <n>] [--iters <n>]\n\
+         \x20                 [--threads <n>]  (host threads for OAG construction;\n\
+         \x20                                   default: available parallelism, output\n\
+         \x20                                   is bit-identical for any value)\n\
          \x20 chgraph-cli stats (--dataset <..> | --input <file.hgr>)\n\
          \x20 chgraph-cli gen --vertices <n> --hyperedges <n> --out <file.hgr> [--seed <n>]"
     );
@@ -92,11 +94,13 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         .get("workload")
         .and_then(|w| pick_workload(w))
         .ok_or("missing or unknown --workload")?;
-    let runtime = flags
-        .get("runtime")
-        .and_then(|r| pick_runtime(r))
-        .ok_or("missing or unknown --runtime")?;
-    let mut cfg = RunConfig::new();
+    let runtime =
+        flags.get("runtime").and_then(|r| pick_runtime(r)).ok_or("missing or unknown --runtime")?;
+    let mut cfg = RunConfig::new()
+        .with_oag_build_threads(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    if let Some(t) = flags.get("threads") {
+        cfg = cfg.with_oag_build_threads(t.parse().map_err(|_| "bad --threads")?);
+    }
     if let Some(c) = flags.get("cores") {
         let cores: usize = c.parse().map_err(|_| "bad --cores")?;
         cfg = cfg.with_system(SystemConfig::scaled(cores));
@@ -111,8 +115,7 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         cfg = cfg.with_max_iterations(n.parse().map_err(|_| "bad --iters")?);
     }
     if flags.get("partition").map(String::as_str) == Some("true") {
-        let parts =
-            hypergraph::partition::streaming_partition(&g, cfg.system.num_cores);
+        let parts = hypergraph::partition::streaming_partition(&g, cfg.system.num_cores);
         let (reordered, _) = hypergraph::partition::apply_hyperedge_partition(&g, &parts);
         g = reordered;
         println!("applied overlap-aware partitioning into {} parts", cfg.system.num_cores);

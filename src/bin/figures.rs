@@ -1,30 +1,43 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures <artifact> [--scale <f>]
+//! figures <artifact> [--scale <f>] [--threads <n>] [--cache-dir <dir>] [--no-cache]
 //!
 //! artifacts: table1 table2 fig2 fig3 fig5 fig7 fig8 fig14 fig15 fig16
 //!            fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 area all
 //! ```
 //!
 //! `--scale` shrinks the stand-in datasets multiplicatively for smoke runs
-//! (default 1.0, the configuration EXPERIMENTS.md records).
+//! (default 1.0, the configuration EXPERIMENTS.md records). `--threads`
+//! fans the independent grid simulations across worker threads (default:
+//! the host's available parallelism); every artifact is bit-identical for
+//! any thread count, and the run log (thread count, timings, cache
+//! summary) goes to stderr so stdout stays reproducible. `--cache-dir`
+//! persists preprocessing artifacts (loaded graphs and built OAGs) between
+//! invocations (default `target/preprocess-cache`; `--no-cache` disables).
 
 use chg_bench::figures::{self, Harness};
-use chg_bench::Scale;
+use chg_bench::{PreprocessCache, Scale};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 const ARTIFACTS: &[&str] = &[
-    "table1", "table2", "fig2", "fig3", "fig5", "fig7", "fig8", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "area",
-    "energy", "chains",
+    "table1", "table2", "fig2", "fig3", "fig5", "fig7", "fig8", "fig14", "fig15", "fig16", "fig17",
+    "fig18", "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "area", "energy",
+    "chains",
 ];
 
 fn usage() -> ExitCode {
-    eprintln!("usage: figures <artifact|all> [--scale <f>]");
+    eprintln!(
+        "usage: figures <artifact|all> [--scale <f>] [--threads <n>] [--cache-dir <dir>] [--no-cache]"
+    );
     eprintln!("artifacts: {}", ARTIFACTS.join(" "));
     ExitCode::FAILURE
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 fn emit(artifact: &str, h: &Harness) -> bool {
@@ -62,6 +75,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut artifact = None;
     let mut scale = Scale::FULL;
+    let mut threads = default_threads();
+    let mut cache_dir = Some(String::from("target/preprocess-cache"));
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -71,6 +86,19 @@ fn main() -> ExitCode {
                 };
                 scale = Scale(v);
             }
+            "--threads" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                threads = v.max(1);
+            }
+            "--cache-dir" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                cache_dir = Some(v.clone());
+            }
+            "--no-cache" => cache_dir = None,
             "-h" | "--help" => return usage(),
             other if artifact.is_none() => artifact = Some(other.to_string()),
             _ => return usage(),
@@ -79,18 +107,23 @@ fn main() -> ExitCode {
     let Some(artifact) = artifact else {
         return usage();
     };
-    let h = Harness::new(scale);
-    if artifact == "all" {
-        for a in ARTIFACTS {
-            if !emit(a, &h) {
-                return usage();
-            }
+    let mut h = Harness::new(scale).with_threads(threads);
+    if let Some(dir) = cache_dir {
+        match PreprocessCache::new(&dir) {
+            Ok(cache) => h = h.with_cache(Arc::new(cache)),
+            Err(e) => eprintln!("[cache disabled: cannot open {dir}: {e}]"),
         }
-        return ExitCode::SUCCESS;
     }
-    if emit(&artifact, &h) {
-        ExitCode::SUCCESS
-    } else {
-        usage()
+    eprintln!("[{threads} worker thread(s)]");
+    let t0 = Instant::now();
+    let ok =
+        if artifact == "all" { ARTIFACTS.iter().all(|a| emit(a, &h)) } else { emit(&artifact, &h) };
+    if !ok {
+        return usage();
     }
+    if let Some(cache) = h.cache() {
+        eprintln!("[{}]", cache.summary());
+    }
+    eprintln!("[total {:.1?}]", t0.elapsed());
+    ExitCode::SUCCESS
 }

@@ -12,14 +12,8 @@ use proptest::prelude::*;
 /// Random small family-model hypergraphs (the structured regime) and
 /// unstructured ones (adversarial for the chain machinery).
 fn arb_graph() -> impl Strategy<Value = Hypergraph> {
-    (
-        50usize..300,
-        30usize..200,
-        1usize..12,
-        0u64..1_000,
-        prop::bool::ANY,
-    )
-        .prop_map(|(nv, nh, fam, seed, structured)| {
+    (50usize..300, 30usize..200, 1usize..12, 0u64..1_000, prop::bool::ANY).prop_map(
+        |(nv, nh, fam, seed, structured)| {
             let mut cfg = GeneratorConfig::new(nv.max(64), nh);
             cfg = cfg.with_seed(seed);
             if structured {
@@ -28,7 +22,8 @@ fn arb_graph() -> impl Strategy<Value = Hypergraph> {
                 cfg = cfg.with_family_range(1, 2).with_member_prob(0.3).with_noise(3);
             }
             cfg.generate()
-        })
+        },
+    )
 }
 
 fn cfg() -> RunConfig {

@@ -74,10 +74,7 @@ fn fig14_chgraph_wins_everywhere_gla_does_not() {
         f14.cells.len()
     );
     for &(w, ds, _gla, chg) in &f14.cells {
-        assert!(
-            chg > 0.75,
-            "{w}/{ds}: ChGraph must never lose badly (got {chg:.2}x)"
-        );
+        assert!(chg > 0.75, "{w}/{ds}: ChGraph must never lose badly (got {chg:.2}x)");
     }
     assert!(
         f14.mean_gla_speedup() < 1.1,
@@ -184,10 +181,7 @@ fn fig22_chgraph_wins_even_with_preprocessing() {
         .find(|c| c.0 == Workload::Pr && c.1 == Dataset::WebTrackers)
         .expect("cell exists")
         .2;
-    assert!(
-        pr_web > 1.2,
-        "PR on WEB must win end-to-end incl. preprocessing (got {pr_web:.2}x)"
-    );
+    assert!(pr_web > 1.2, "PR on WEB must win end-to-end incl. preprocessing (got {pr_web:.2}x)");
 }
 
 /// Full-scale counterpart (run with `-- --ignored`).
@@ -197,18 +191,11 @@ fn fig22_full_scale_total_speedup() {
     let h = Harness::new(Scale::FULL);
     let f22 = figures::fig22(&h);
     let pr_mean: f64 = {
-        let cells: Vec<f64> = f22
-            .cells
-            .iter()
-            .filter(|c| c.0 == Workload::Pr)
-            .map(|c| c.2)
-            .collect();
+        let cells: Vec<f64> =
+            f22.cells.iter().filter(|c| c.0 == Workload::Pr).map(|c| c.2).collect();
         cells.iter().sum::<f64>() / cells.len() as f64
     };
-    assert!(
-        pr_mean > 1.25,
-        "full-scale PR end-to-end speedup too small (got {pr_mean:.2}x)"
-    );
+    assert!(pr_mean > 1.25, "full-scale PR end-to-end speedup too small (got {pr_mean:.2}x)");
 }
 
 #[test]
@@ -249,6 +236,8 @@ fn engine_reports_are_consistent() {
     let chg = h.report(Dataset::LiveJournal, Workload::Pr, System::ChGraph);
     let engine = chg.engine.expect("ChGraph reports engine stats");
     assert!(engine.chains_generated > 0);
-    assert!(engine.tuples_delivered as usize >= h.graph(Dataset::LiveJournal).num_bipartite_edges());
+    assert!(
+        engine.tuples_delivered as usize >= h.graph(Dataset::LiveJournal).num_bipartite_edges()
+    );
     assert!(engine.hcg_cycles > 0 && engine.cp_cycles > 0);
 }

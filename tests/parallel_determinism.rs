@@ -1,0 +1,126 @@
+//! The parallel execution layer's hard invariant: every report, figure and
+//! OAG is **bit-identical** between `--threads 1` and `--threads N`
+//! (DESIGN.md §"Parallel evaluation"). These tests pin the invariant at
+//! every layer — OAG construction, prepared-artifact reuse, and the
+//! fanned-out harness grid.
+
+use chg_bench::figures::{Harness, System};
+use chg_bench::{load_scaled, Scale};
+use chgraph::{ChGraphRuntime, GlaRuntime, PreparedOags, RunConfig, Runtime};
+use hyperalgos::Workload;
+use hypergraph::datasets::Dataset;
+use hypergraph::Side;
+use oag::OagConfig;
+use proptest::prelude::*;
+
+/// Exact binary serialization of an OAG, for byte-level comparison.
+fn oag_bytes(oag: &oag::Oag) -> Vec<u8> {
+    let mut buf = Vec::new();
+    oag::io::write_binary(oag, &mut buf).expect("in-memory write cannot fail");
+    buf
+}
+
+#[test]
+fn parallel_oag_build_is_byte_identical() {
+    let cfg = OagConfig::new();
+    for ds in [Dataset::LiveJournal, Dataset::WebTrackers] {
+        let g = load_scaled(ds, Scale(0.05));
+        for side in [Side::Hyperedge, Side::Vertex] {
+            let (serial, serial_stats) = cfg.build_with_stats_threads(&g, side, 1);
+            for threads in [2, 3, 8] {
+                let (parallel, parallel_stats) = cfg.build_with_stats_threads(&g, side, threads);
+                assert_eq!(
+                    oag_bytes(&serial),
+                    oag_bytes(&parallel),
+                    "{ds:?}/{side:?}: {threads}-thread OAG differs from serial"
+                );
+                assert_eq!(serial_stats, parallel_stats, "{ds:?}/{side:?} stats diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn harness_grid_is_identical_serial_vs_parallel() {
+    let datasets = [Dataset::LiveJournal, Dataset::WebTrackers];
+    let workloads = [Workload::Cc, Workload::Bfs];
+    let systems = [System::Hygra, System::ChGraph];
+    let serial = Harness::new(Scale(0.05));
+    let parallel = Harness::new(Scale(0.05)).with_threads(8);
+    let jobs: Vec<_> = datasets
+        .into_iter()
+        .flat_map(|ds| {
+            workloads
+                .into_iter()
+                .flat_map(move |w| systems.into_iter().map(move |sys| (ds, w, sys)))
+        })
+        .collect();
+    parallel.prefetch(jobs.iter().copied());
+    for (ds, w, sys) in jobs {
+        assert_eq!(
+            *serial.report(ds, w, sys),
+            *parallel.report(ds, w, sys),
+            "{ds:?}/{w:?}/{sys:?}: parallel harness diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn prepared_oags_reuse_is_bit_identical_to_fresh_builds() {
+    let cfg = RunConfig::new();
+    let g = load_scaled(Dataset::ComOrkut, Scale(0.05));
+    let prepared = PreparedOags::build(&g, &cfg);
+    for runtime in [&GlaRuntime as &dyn Runtime, &ChGraphRuntime::new()] {
+        for w in [Workload::Cc, Workload::Bfs] {
+            let fresh = hyperalgos::run_workload(w, runtime, &g, &cfg);
+            let reused = hyperalgos::run_workload_prepared(w, runtime, &g, &cfg, Some(&prepared));
+            assert_eq!(
+                fresh,
+                reused,
+                "{}/{w:?}: prepared reuse changed the report",
+                runtime.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn mismatched_prepared_oags_fall_back_to_fresh_build() {
+    let cfg = RunConfig::new();
+    let g = load_scaled(Dataset::LiveJournal, Scale(0.05));
+    let stale = PreparedOags::build(&g, &cfg.with_oag(OagConfig::new().with_w_min(7)));
+    let fresh = hyperalgos::run_workload(Workload::Cc, &ChGraphRuntime::new(), &g, &cfg);
+    let guarded = hyperalgos::run_workload_prepared(
+        Workload::Cc,
+        &ChGraphRuntime::new(),
+        &g,
+        &cfg,
+        Some(&stale),
+    );
+    assert_eq!(fresh, guarded, "config-mismatched PreparedOags must be ignored");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel OAG construction equals serial for arbitrary small
+    /// hypergraphs, both sides, any worker count.
+    #[test]
+    fn parallel_build_equals_serial_on_arbitrary_hypergraphs(
+        nv in 50usize..160,
+        nh in 1usize..80,
+        seed in 0u64..1_000_000,
+        threads in 2usize..9,
+        w_min in 1u32..4,
+    ) {
+        let g = hypergraph::generate::GeneratorConfig::new(nv, nh).with_seed(seed).generate();
+        let cfg = OagConfig::new().with_w_min(w_min);
+        for side in [Side::Hyperedge, Side::Vertex] {
+            let (serial, serial_stats) = cfg.build_with_stats_threads(&g, side, 1);
+            let (parallel, parallel_stats) = cfg.build_with_stats_threads(&g, side, threads);
+            prop_assert_eq!(&serial, &parallel);
+            prop_assert_eq!(oag_bytes(&serial), oag_bytes(&parallel));
+            prop_assert_eq!(serial_stats, parallel_stats);
+        }
+    }
+}

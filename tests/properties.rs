@@ -7,13 +7,7 @@ use proptest::prelude::*;
 /// Strategy: an arbitrary small hypergraph as (num_vertices, hyperedges).
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (2usize..40).prop_flat_map(|nv| {
-        (
-            Just(nv),
-            prop::collection::vec(
-                prop::collection::vec(0u32..nv as u32, 1..8),
-                1..30,
-            ),
-        )
+        (Just(nv), prop::collection::vec(prop::collection::vec(0u32..nv as u32, 1..8), 1..30))
             .prop_map(|(nv, rows)| {
                 let mut b = HypergraphBuilder::new(nv);
                 for row in rows {

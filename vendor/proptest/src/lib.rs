@@ -1,0 +1,188 @@
+//! Vendored offline mini-proptest.
+//!
+//! The build container has no network access, so this crate reimplements
+//! the slice of the `proptest` 1.x API the workspace's property tests use:
+//! the `proptest!` macro, `Strategy` with `prop_map`/`prop_flat_map`,
+//! integer-range and tuple strategies, `Just`, `any::<bool>()`,
+//! `prop::bool::ANY`, `prop::collection::vec`, `ProptestConfig::with_cases`,
+//! and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest, on purpose:
+//! - **Deterministic seeding.** Cases are seeded from an FNV-1a hash of the
+//!   test's module path and name plus the case index, so a failure
+//!   reproduces on every run and on every machine. (Real proptest draws
+//!   entropy and persists regressions; a seed file is useless offline.)
+//! - **No shrinking.** A failing case panics immediately with the assert
+//!   message; the deterministic seed makes the case replayable under a
+//!   debugger instead.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Just, Strategy};
+
+/// Boolean strategies (`prop::bool::ANY`).
+pub mod bool {
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    pub const ANY: BoolAny = BoolAny;
+
+    impl crate::Strategy for BoolAny {
+        type Value = bool;
+        fn sample(&self, rng: &mut crate::TestRng) -> bool {
+            use rand::Rng;
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// The `prop` alias module exposed by proptest's prelude
+/// (`prop::collection::vec`, `prop::bool::ANY`).
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// Everything a property-test file imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. A concrete type keeps `Strategy`
+/// object-safe-free and simple.
+pub type TestRng = SmallRng;
+
+#[doc(hidden)]
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+#[doc(hidden)]
+pub fn case_rng(base: u64, case: u64) -> TestRng {
+    SmallRng::seed_from_u64(base.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// The `proptest!` macro: expands each `fn name(arg in strategy, ...)` into
+/// a `#[test]` that samples every strategy `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let base = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases as u64 {
+                    let mut proptest_rng = $crate::case_rng(base, case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( fn $name($($arg in $strat),*) $body )*
+        }
+    };
+}
+
+/// `prop_assert!` — panics on failure (no shrinking, see crate docs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `prop_assert_eq!` — panics on failure (no shrinking, see crate docs).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        use crate::Strategy;
+        let s = (0u32..1000, prop::bool::ANY);
+        let a: Vec<(u32, bool)> = (0..8).map(|c| s.sample(&mut crate::case_rng(1, c))).collect();
+        let b: Vec<(u32, bool)> = (0..8).map(|c| s.sample(&mut crate::case_rng(1, c))).collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_compose(
+            n in 1usize..10,
+            items in prop::collection::vec((0u64..64, any::<bool>()), 0..20),
+            label in (0u32..5).prop_map(|x| x * 10),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(items.len() < 20);
+            for (v, _) in &items {
+                prop_assert!(*v < 64);
+            }
+            prop_assert_eq!(label % 10, 0);
+        }
+
+        #[test]
+        fn flat_map_sees_outer_value(
+            pair in (2usize..9).prop_flat_map(|n| (Just(n), prop::collection::vec(0usize..n, 1..5)))
+        ) {
+            let (n, xs) = pair;
+            for x in xs {
+                prop_assert!(x < n);
+            }
+        }
+    }
+}

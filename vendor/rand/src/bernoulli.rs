@@ -1,0 +1,30 @@
+//! Bernoulli distribution, bit-compatible with rand 0.8.5.
+
+use crate::RngCore;
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+// 2^64 as f64 (rand writes this as `2.0 * (1u64 << 63) as f64`).
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+pub struct Bernoulli {
+    p_int: u64,
+}
+
+impl Bernoulli {
+    pub fn new(p: f64) -> Result<Bernoulli, ()> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+            }
+            return Err(());
+        }
+        Ok(Bernoulli { p_int: (p * SCALE) as u64 })
+    }
+
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        rng.next_u64() < self.p_int
+    }
+}

@@ -1,0 +1,191 @@
+//! Vendored offline subset of `rand` 0.8.
+//!
+//! The build container has no network access and no registry cache, so the
+//! workspace vendors the narrow slice of the `rand` API it actually uses.
+//! The implementation is **bit-compatible** with rand 0.8.5 for that slice:
+//!
+//! - `SmallRng` is xoshiro256++ (the 64-bit `SmallRng` of rand 0.8),
+//! - `SeedableRng::seed_from_u64` is the SplitMix64 expansion rand uses,
+//! - `Rng::gen_range` reproduces `UniformInt` (widening-multiply with zone
+//!   rejection) and `UniformFloat` (53-bit mantissa into `[1, 2)`) sampling,
+//! - `Rng::gen_bool` reproduces the `Bernoulli` fixed-point comparison.
+//!
+//! Bit-compatibility matters because the dataset generators in
+//! `crates/hypergraph` are calibrated against the shape tests and the figure
+//! harness promises bit-for-bit reproducible output: swapping in a different
+//! generator stream would silently change every figure.
+
+pub mod rngs;
+
+mod bernoulli;
+mod uniform;
+
+pub use uniform::SampleRange;
+
+/// Core RNG interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seeding interface (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// SplitMix64 expansion of a `u64` seed, exactly as rand 0.8 does it.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // Constants from rand_core 0.6 `seed_from_u64`.
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z = z ^ (z >> 31);
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range, matching rand 0.8's
+    /// `UniformSampler::sample_single{,_inclusive}`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: uniform::SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw, matching rand 0.8's `Bernoulli` distribution.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        bernoulli::Bernoulli::new(p).expect("gen_bool: probability outside [0, 1]").sample(self)
+    }
+
+    /// Sample a value of a primitive type from the full range
+    /// (rand's `Standard` distribution, integer/bool subset).
+    fn gen<T: uniform::StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64 with initial state 0 — reference vector from the
+    /// canonical splitmix64.c test suite. This pins the seed expansion
+    /// rand 0.8 uses for `seed_from_u64`.
+    #[test]
+    fn splitmix64_reference_vector() {
+        struct Capture([u8; 32]);
+        impl AsMut<[u8]> for Capture {
+            fn as_mut(&mut self) -> &mut [u8] {
+                &mut self.0
+            }
+        }
+        impl Default for Capture {
+            fn default() -> Self {
+                Capture([0; 32])
+            }
+        }
+        struct Probe(Capture);
+        impl SeedableRng for Probe {
+            type Seed = Capture;
+            fn from_seed(seed: Capture) -> Self {
+                Probe(seed)
+            }
+        }
+        impl crate::RngCore for Probe {
+            fn next_u32(&mut self) -> u32 {
+                0
+            }
+            fn next_u64(&mut self) -> u64 {
+                0
+            }
+            fn fill_bytes(&mut self, _: &mut [u8]) {}
+        }
+        let p = Probe::seed_from_u64(0);
+        let words: Vec<u64> =
+            p.0 .0.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+        assert_eq!(
+            words,
+            vec![
+                0xe220_a839_7b1d_cdaf,
+                0x6e78_9e6a_a1b9_65f4,
+                0x06c4_5d18_8009_454f,
+                0xf88b_b8a8_724c_81ec,
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen_range(0..u64::MAX)).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen_range(0..u64::MAX)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u32 = rng.gen_range(5..17);
+            assert!((5..17).contains(&v));
+            let w: usize = rng.gen_range(0..=3);
+            assert!(w <= 3);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g: f64 = rng.gen_range(0.5..=1.0);
+            assert!((0.5..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!((0..64).all(|_| rng.gen_bool(1.0)));
+        assert!((0..64).all(|_| !rng.gen_bool(0.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+}

@@ -1,0 +1,163 @@
+//! Uniform range sampling, bit-compatible with rand 0.8.5's
+//! `UniformInt`/`UniformFloat` single-sample paths.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// `rand::distributions::Standard` subset: full-range primitive draws.
+pub trait StandardSample: Sized {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8 draws usize as u64 on 64-bit targets (u32 on 32-bit).
+        #[cfg(target_pointer_width = "64")]
+        {
+            rng.next_u64() as usize
+        }
+        #[cfg(not(target_pointer_width = "64"))]
+        {
+            rng.next_u32() as usize
+        }
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Sign test on the high bit, as in rand 0.8.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit mantissa into [0, 1) — rand's `Standard` for f64.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+/// Types that `Rng::gen_range` can sample uniformly.
+pub trait SampleUniform: Sized {
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument to `Rng::gen_range` (subset of rand's `SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+/// Widening-multiply with zone rejection — the exact `UniformInt` algorithm
+/// for types whose "large" sampling width equals their own width (u32, u64,
+/// usize on 64-bit), which is all this workspace uses.
+macro_rules! uniform_int_impl {
+    ($ty:ty, $wide:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "gen_range: low >= high");
+                let range = high.wrapping_sub(low);
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $ty = StandardSample::standard_sample(rng);
+                    let m = (v as $wide) * (range as $wide);
+                    let hi = (m >> <$ty>::BITS) as $ty;
+                    let lo = m as $ty;
+                    if lo <= zone {
+                        return low.wrapping_add(hi);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(low <= high, "gen_range: low > high (inclusive)");
+                let range = high.wrapping_sub(low).wrapping_add(1);
+                if range == 0 {
+                    // Span covers the whole type.
+                    return StandardSample::standard_sample(rng);
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $ty = StandardSample::standard_sample(rng);
+                    let m = (v as $wide) * (range as $wide);
+                    let hi = (m >> <$ty>::BITS) as $ty;
+                    let lo = m as $ty;
+                    if lo <= zone {
+                        return low.wrapping_add(hi);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u32, u64);
+uniform_int_impl!(u64, u128);
+#[cfg(target_pointer_width = "64")]
+uniform_int_impl!(usize, u128);
+#[cfg(not(target_pointer_width = "64"))]
+uniform_int_impl!(usize, u64);
+
+impl SampleUniform for f64 {
+    fn sample_single<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        // rand 0.8 `UniformFloat::<f64>::sample_single`.
+        assert!(low < high, "gen_range: low >= high");
+        let mut scale = high - low;
+        assert!(scale.is_finite(), "gen_range: range overflowed to infinity");
+        loop {
+            // 52 mantissa bits into [1, 2), then shift to [0, 1).
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+            // Shrink scale by one ulp to escape rounding onto `high`.
+            scale = f64::from_bits(scale.to_bits().wrapping_sub(1));
+        }
+    }
+
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        // rand 0.8 `UniformFloat::<f64>::new_inclusive` + `sample`.
+        assert!(low <= high, "gen_range: low > high (inclusive)");
+        let max_rand = f64::from_bits((u64::MAX >> 12) | (1023u64 << 52)) - 1.0;
+        let mut scale = (high - low) / max_rand;
+        assert!(scale.is_finite(), "gen_range: range overflowed to infinity");
+        while scale * max_rand + low > high {
+            scale = f64::from_bits(scale.to_bits().wrapping_sub(1));
+        }
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        let value0_1 = value1_2 - 1.0;
+        value0_1 * scale + low
+    }
+}

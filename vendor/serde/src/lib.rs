@@ -1,0 +1,17 @@
+//! Vendored offline stub of `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata
+//! on config/report types — nothing serializes through serde at runtime
+//! (the on-disk formats in `hypergraph::io` / `oag::io` are hand-rolled
+//! binary). This stub keeps those derives compiling without network access:
+//! the traits are empty markers and the derive macros expand to marker
+//! impls.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

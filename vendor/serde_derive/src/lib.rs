@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stub.
+//!
+//! The derives expand to nothing: no code in this workspace requires the
+//! `Serialize`/`Deserialize` bounds, the attribute is purely declarative.
+//! `attributes(serde)` is declared so `#[serde(...)]` field attributes
+//! would still parse if a future change adds them.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
