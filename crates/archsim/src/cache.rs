@@ -82,6 +82,8 @@ impl Cache {
         let victim = set
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            // invariant: CacheConfig validates ways >= 1, so every set is
+            // non-empty.
             .expect("cache has at least one way");
         let mut writeback = None;
         let mut evicted = None;

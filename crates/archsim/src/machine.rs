@@ -164,6 +164,8 @@ impl Machine {
             return AccessResult { level: Level::L2, latency };
         }
         // Newly filled into this core's L2: update the directory.
+        // invariant: the entry() call on the previous line materialized
+        // the key.
         self.directory.entry(line).or_insert(0);
         *self.directory.get_mut(&line).expect("just inserted") |= 1 << core;
 

@@ -15,8 +15,17 @@
 //! both binary codecs round-trip exactly (`Eq`-tested in their own crates),
 //! so a hit returns bit-identical artifacts and every downstream report is
 //! unchanged. Hit/miss counters are reported in the run log.
+//!
+//! Fault tolerance (DESIGN.md §"Fault tolerance"): the v2 binary formats
+//! carry trailing FNV-1a checksums, so a truncated, torn or bit-flipped
+//! entry is *detected* on read. A corrupt entry is quarantined — renamed to
+//! `<entry>.corrupt` so it is never re-read and remains available for
+//! post-mortems — the event is logged to stderr, and the caller
+//! transparently recomputes. A corrupt cache can therefore never change
+//! results, only cost time.
 
 use crate::Scale;
+use hypergraph::checksum::{Fnv64, HashingReader, HashingWriter};
 use hypergraph::datasets::Dataset;
 use hypergraph::{Hypergraph, Side};
 use oag::{Oag, OagBuildStats, OagConfig};
@@ -24,30 +33,43 @@ use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
 
 const OAG_ENTRY_MAGIC: &[u8; 4] = b"CHGC";
-const OAG_ENTRY_VERSION: u32 = 1;
+/// Entry version written by [`PreprocessCache::store_oag`]: v2 appends a
+/// trailing FNV-1a checksum over the whole entry (covering the stats
+/// prefix, which the inner OAG blob's own checksum does not). v1 entries
+/// (no entry checksum, v1 inner blob) remain readable.
+const OAG_ENTRY_VERSION: u32 = 2;
+const OAG_ENTRY_MIN_VERSION: u32 = 1;
 
-/// FNV-1a over a byte stream, usable as an `io::Write` sink so existing
-/// binary writers double as fingerprinters.
-struct FnvWriter(u64);
+/// Stale `*.tmp.<pid>` files older than this at cache-open time are swept:
+/// they can only be leftovers of a writer that died mid-write (a live
+/// concurrent writer renames its tmp file within seconds).
+const DEFAULT_TMP_TTL: Duration = Duration::from_secs(600);
 
-impl FnvWriter {
+/// An `io::Write` sink that FNV-1a fingerprints everything written to it,
+/// so the existing binary writers double as fingerprinters. Infallible:
+/// every write is accepted in full.
+struct FnvSink(Fnv64);
+
+impl FnvSink {
     fn new() -> Self {
-        FnvWriter(0xcbf2_9ce4_8422_2325)
+        FnvSink(Fnv64::new())
     }
 
     fn push_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        self.0.update(bytes);
+    }
+
+    fn digest(&self) -> u64 {
+        self.0.digest()
     }
 }
 
-impl Write for FnvWriter {
+impl Write for FnvSink {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.push_bytes(buf);
+        self.0.update(buf);
         Ok(buf.len())
     }
 
@@ -58,9 +80,11 @@ impl Write for FnvWriter {
 
 /// Content fingerprint of a hypergraph (its exact binary serialization).
 pub fn graph_fingerprint(g: &Hypergraph) -> u64 {
-    let mut w = FnvWriter::new();
-    hypergraph::io::write_binary(g, &mut w).expect("fingerprint sink cannot fail");
-    w.0
+    let mut w = FnvSink::new();
+    // FnvSink::write never fails, so the serializer cannot return an
+    // error; ignore the Result instead of panicking on the impossible.
+    let _ = hypergraph::io::write_binary(g, &mut w);
+    w.digest()
 }
 
 /// A directory of cached preprocessing artifacts with hit/miss accounting.
@@ -70,20 +94,25 @@ pub struct PreprocessCache {
     graph_misses: AtomicU64,
     oag_hits: AtomicU64,
     oag_misses: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl PreprocessCache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) a cache rooted at `dir`, sweeping stale
+    /// temp files left behind by writers that died mid-write.
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(PreprocessCache {
+        let cache = PreprocessCache {
             dir,
             graph_hits: AtomicU64::new(0),
             graph_misses: AtomicU64::new(0),
             oag_hits: AtomicU64::new(0),
             oag_misses: AtomicU64::new(0),
-        })
+            quarantined: AtomicU64::new(0),
+        };
+        cache.sweep_stale_tmp(DEFAULT_TMP_TTL);
+        Ok(cache)
     }
 
     /// The cache directory.
@@ -91,27 +120,68 @@ impl PreprocessCache {
         &self.dir
     }
 
+    /// Removes `*.tmp.<pid>` files older than `ttl`. Anything that old
+    /// predates this process (which was just started when the cache was
+    /// opened), so its writer is gone and never renamed it into place.
+    /// Returns the number of files removed. Failures are ignored — the
+    /// sweep is hygiene, never a correctness dependency.
+    pub fn sweep_stale_tmp(&self, ttl: Duration) -> usize {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let now = SystemTime::now();
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let is_tmp =
+                path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.contains(".tmp."));
+            if !is_tmp {
+                continue;
+            }
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| now.duration_since(mtime).ok())
+                .is_some_and(|age| age >= ttl);
+            if stale && fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     fn graph_path(&self, ds: Dataset, scale: Scale) -> PathBuf {
         // Key on the generator configuration (not just the dataset name):
         // retuning a stand-in invalidates its cached graphs.
-        let mut fp = FnvWriter::new();
+        let mut fp = FnvSink::new();
         fp.push_bytes(format!("{:?}", ds.config()).as_bytes());
         fp.push_bytes(&scale.factor().to_bits().to_le_bytes());
-        self.dir.join(format!("graph_{}_{:016x}.bin", ds.abbrev().to_lowercase(), fp.0))
+        self.dir.join(format!("graph_{}_{:016x}.bin", ds.abbrev().to_lowercase(), fp.digest()))
     }
 
     fn oag_path(&self, g: &Hypergraph, cfg: &OagConfig, side: Side) -> PathBuf {
-        let mut fp = FnvWriter::new();
+        let mut fp = FnvSink::new();
         fp.push_bytes(&graph_fingerprint(g).to_le_bytes());
         fp.push_bytes(format!("{cfg:?}/{side:?}").as_bytes());
-        self.dir.join(format!("oag_{:016x}.bin", fp.0))
+        self.dir.join(format!("oag_{:016x}.bin", fp.digest()))
     }
 
     /// Loads the cached stand-in for `(ds, scale)`, if present and intact.
+    /// A present-but-corrupt entry is quarantined and reported as a miss,
+    /// so the caller regenerates and overwrites it.
     pub fn load_graph(&self, ds: Dataset, scale: Scale) -> Option<Hypergraph> {
-        let g = File::open(self.graph_path(ds, scale))
-            .ok()
-            .and_then(|f| hypergraph::io::read_binary(BufReader::new(f)).ok());
+        let path = self.graph_path(ds, scale);
+        let g = match File::open(&path) {
+            Err(_) => None,
+            Ok(f) => match hypergraph::io::read_binary(BufReader::new(f)) {
+                Ok(g) => Some(g),
+                Err(e) => {
+                    self.quarantine(&path, &e.to_string());
+                    None
+                }
+            },
+        };
         self.count(g.is_some(), &self.graph_hits, &self.graph_misses);
         g
     }
@@ -124,16 +194,25 @@ impl PreprocessCache {
     }
 
     /// Loads the cached OAG (and its build statistics) for `g` under
-    /// `cfg`/`side`, if present and intact.
+    /// `cfg`/`side`, if present and intact. A present-but-corrupt entry is
+    /// quarantined and reported as a miss.
     pub fn load_oag(
         &self,
         g: &Hypergraph,
         cfg: &OagConfig,
         side: Side,
     ) -> Option<(Oag, OagBuildStats)> {
-        let loaded = File::open(self.oag_path(g, cfg, side))
-            .ok()
-            .and_then(|f| read_oag_entry(BufReader::new(f)).ok());
+        let path = self.oag_path(g, cfg, side);
+        let loaded = match File::open(&path) {
+            Err(_) => None,
+            Ok(f) => match read_oag_entry(BufReader::new(f)) {
+                Ok(entry) => Some(entry),
+                Err(e) => {
+                    self.quarantine(&path, &e.to_string());
+                    None
+                }
+            },
+        };
         self.count(loaded.is_some(), &self.oag_hits, &self.oag_misses);
         loaded
     }
@@ -151,29 +230,69 @@ impl PreprocessCache {
             self.write_atomically(&self.oag_path(g, cfg, side), |w| write_oag_entry(w, oag, stats));
     }
 
+    /// Moves a corrupt entry out of the lookup path (to `<entry>.corrupt`)
+    /// so it can never be re-read, logging the event. The caller treats
+    /// the lookup as a miss and recomputes, so corruption costs time, not
+    /// correctness.
+    fn quarantine(&self, path: &Path, reason: &str) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let mut target = path.as_os_str().to_owned();
+        target.push(".corrupt");
+        let outcome = if fs::rename(path, &target).is_ok() {
+            "quarantined"
+        } else if fs::remove_file(path).is_ok() {
+            // Rename can fail (e.g. a stale .corrupt file is in the way on
+            // some platforms); removal equally keeps the entry from being
+            // re-read.
+            "removed"
+        } else {
+            "could not quarantine"
+        };
+        eprintln!(
+            "[preprocess cache: corrupt entry {} ({reason}) — {outcome}, will recompute]",
+            path.display()
+        );
+    }
+
     fn count(&self, hit: bool, hits: &AtomicU64, misses: &AtomicU64) {
         if hit { hits } else { misses }.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Write-to-temp + rename so concurrent harness processes never observe
-    /// a torn entry.
+    /// a torn entry. The temp file is removed if the write closure or the
+    /// rename fails, so failed writes leave nothing behind.
     fn write_atomically(
         &self,
         path: &Path,
         write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
     ) -> io::Result<()> {
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        let mut w = BufWriter::new(File::create(&tmp)?);
-        write(&mut w)?;
-        w.flush()?;
-        drop(w);
-        fs::rename(&tmp, path)
+        let result = (|| {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            write(&mut w)?;
+            w.flush()?;
+            drop(w);
+            fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// One-line hit/miss summary for the run log.
     pub fn summary(&self) -> String {
+        let quarantined = self.quarantined.load(Ordering::Relaxed);
+        let tail = if quarantined > 0 {
+            format!(
+                ", {quarantined} corrupt entr{} quarantined",
+                if quarantined == 1 { "y" } else { "ies" }
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "preprocess cache [{}]: graphs {} hit / {} miss, oags {} hit / {} miss",
+            "preprocess cache [{}]: graphs {} hit / {} miss, oags {} hit / {} miss{tail}",
             self.dir.display(),
             self.graph_hits.load(Ordering::Relaxed),
             self.graph_misses.load(Ordering::Relaxed),
@@ -191,9 +310,15 @@ impl PreprocessCache {
     pub fn misses(&self) -> u64 {
         self.graph_misses.load(Ordering::Relaxed) + self.oag_misses.load(Ordering::Relaxed)
     }
+
+    /// Number of corrupt entries quarantined so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
 }
 
-fn write_oag_entry<W: Write>(mut w: W, oag: &Oag, stats: &OagBuildStats) -> io::Result<()> {
+fn write_oag_entry<W: Write>(w: W, oag: &Oag, stats: &OagBuildStats) -> io::Result<()> {
+    let mut w = HashingWriter::new(w);
     w.write_all(OAG_ENTRY_MAGIC)?;
     w.write_all(&OAG_ENTRY_VERSION.to_le_bytes())?;
     w.write_all(&stats.two_hop_steps.to_le_bytes())?;
@@ -201,11 +326,14 @@ fn write_oag_entry<W: Write>(mut w: W, oag: &Oag, stats: &OagBuildStats) -> io::
     w.write_all(&(stats.edges_kept as u64).to_le_bytes())?;
     w.write_all(&stats.pivots_skipped.to_le_bytes())?;
     w.write_all(&(stats.size_bytes as u64).to_le_bytes())?;
-    oag::io::write_binary(oag, w)
+    oag::io::write_binary(oag, &mut w)?;
+    let digest = w.digest();
+    w.into_inner().write_all(&digest.to_le_bytes())
 }
 
-fn read_oag_entry<R: Read>(mut r: R) -> io::Result<(Oag, OagBuildStats)> {
+fn read_oag_entry<R: Read>(r: R) -> io::Result<(Oag, OagBuildStats)> {
     let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let mut r = HashingReader::new(r);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != OAG_ENTRY_MAGIC {
@@ -213,7 +341,8 @@ fn read_oag_entry<R: Read>(mut r: R) -> io::Result<(Oag, OagBuildStats)> {
     }
     let mut word = [0u8; 4];
     r.read_exact(&mut word)?;
-    if u32::from_le_bytes(word) != OAG_ENTRY_VERSION {
+    let version = u32::from_le_bytes(word);
+    if !(OAG_ENTRY_MIN_VERSION..=OAG_ENTRY_VERSION).contains(&version) {
         return Err(bad("unsupported cache entry version"));
     }
     let mut u64_field = || -> io::Result<u64> {
@@ -228,8 +357,17 @@ fn read_oag_entry<R: Read>(mut r: R) -> io::Result<(Oag, OagBuildStats)> {
         pivots_skipped: u64_field()?,
         size_bytes: u64_field()? as usize,
     };
-    let oag = oag::io::read_binary(BufReader::new(r))
+    let oag = oag::io::read_binary(&mut r)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if version >= 2 {
+        let computed = r.digest();
+        let mut trailer = [0u8; 8];
+        r.get_mut().read_exact(&mut trailer)?;
+        let stored = u64::from_le_bytes(trailer);
+        if stored != computed {
+            return Err(bad("cache entry checksum mismatch"));
+        }
+    }
     Ok((oag, stats))
 }
 
@@ -284,6 +422,89 @@ mod tests {
         let g2 = cache.load_graph(Dataset::Friendster, Scale(0.05)).expect("hit");
         assert_eq!(g, g2);
         assert!(cache.load_graph(Dataset::Friendster, Scale(0.1)).is_none(), "scale must key");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_graph_entry_is_quarantined_and_recomputed() {
+        let dir = tmpdir("quarantine");
+        let cache = PreprocessCache::new(&dir).unwrap();
+        let g = crate::load_scaled(Dataset::Friendster, Scale(0.05));
+        cache.store_graph(Dataset::Friendster, Scale(0.05), &g);
+        let path = cache.graph_path(Dataset::Friendster, Scale(0.05));
+        // Flip one payload bit on disk.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load_graph(Dataset::Friendster, Scale(0.05)).is_none(), "corrupt => miss");
+        assert_eq!(cache.quarantined(), 1);
+        assert!(!path.exists(), "corrupt entry must leave the lookup path");
+        let mut corrupt = path.as_os_str().to_owned();
+        corrupt.push(".corrupt");
+        assert!(Path::new(&corrupt).exists(), "quarantined copy kept for post-mortems");
+        // The standard store-after-miss flow self-heals the entry.
+        cache.store_graph(Dataset::Friendster, Scale(0.05), &g);
+        assert_eq!(cache.load_graph(Dataset::Friendster, Scale(0.05)).expect("healed"), g);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_oag_entry_is_quarantined() {
+        let dir = tmpdir("truncated");
+        let cache = PreprocessCache::new(&dir).unwrap();
+        let g = crate::load_scaled(Dataset::LiveJournal, Scale(0.05));
+        let cfg = OagConfig::new();
+        let (oag, stats) = cfg.build_with_stats(&g, Side::Hyperedge);
+        cache.store_oag(&g, &cfg, Side::Hyperedge, &oag, &stats);
+        let path = cache.oag_path(&g, &cfg, Side::Hyperedge);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(cache.load_oag(&g, &cfg, Side::Hyperedge).is_none(), "torn => miss");
+        assert_eq!(cache.quarantined(), 1);
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_no_tmp_files() {
+        let dir = tmpdir("tmpclean");
+        let cache = PreprocessCache::new(&dir).unwrap();
+        let err = cache.write_atomically(&dir.join("never.bin"), |_w| {
+            Err(io::Error::other("injected write failure"))
+        });
+        assert!(err.is_err());
+        let leftovers: Vec<_> = fs::read_dir(&dir).unwrap().flatten().collect();
+        assert!(leftovers.is_empty(), "failed write must clean up its tmp file: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_at_open() {
+        let dir = tmpdir("tmpsweep");
+        fs::create_dir_all(&dir).unwrap();
+        let stale = dir.join("graph_x.tmp.99999");
+        fs::write(&stale, b"half-written").unwrap();
+        // Age the file so the TTL check sees it as predating the process.
+        let old = SystemTime::now() - Duration::from_secs(24 * 3600);
+        let f = File::options().write(true).open(&stale).unwrap();
+        f.set_times(fs::FileTimes::new().set_modified(old)).unwrap();
+        drop(f);
+        let _cache = PreprocessCache::new(&dir).unwrap();
+        assert!(!stale.exists(), "stale tmp file must be swept at cache open");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_tmp_files_survive_the_sweep() {
+        let dir = tmpdir("tmpfresh");
+        fs::create_dir_all(&dir).unwrap();
+        let fresh = dir.join("graph_y.tmp.12345");
+        fs::write(&fresh, b"concurrent writer in flight").unwrap();
+        let cache = PreprocessCache::new(&dir).unwrap();
+        assert!(fresh.exists(), "a just-written tmp file may belong to a live writer");
+        assert_eq!(cache.sweep_stale_tmp(Duration::ZERO), 1, "ttl=0 sweeps everything");
+        assert!(!fresh.exists());
         let _ = fs::remove_dir_all(&dir);
     }
 }

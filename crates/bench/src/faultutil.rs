@@ -1,0 +1,228 @@
+//! Deterministic I/O fault injection for the fault-tolerance test suite.
+//!
+//! [`FaultReader`] and [`FaultWriter`] wrap any `Read`/`Write` and inject
+//! one configured [`Fault`] at an exact byte offset, so every recovery
+//! path — truncation, bit flips, short reads, injected `io::Error`s, torn
+//! writes — can be exercised reproducibly: the same `(stream, fault)` pair
+//! always produces the same byte sequence. Test support; compiled under
+//! the `fault-injection` feature (always on for this crate's own tests).
+
+use std::io::{self, Read, Write};
+
+/// One deterministic fault, keyed to a byte offset in the stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The stream ends at `offset`: reads report EOF, writes silently
+    /// drop everything past it (a torn write).
+    Truncate {
+        /// Byte offset at which the stream ends.
+        offset: u64,
+    },
+    /// Flip bit `bit` (0–7) of the byte at `offset`; the stream otherwise
+    /// flows unmodified.
+    FlipBit {
+        /// Byte offset of the corrupted byte.
+        offset: u64,
+        /// Which bit of that byte to flip.
+        bit: u8,
+    },
+    /// From `offset` on, every read/write call transfers at most one byte
+    /// (data stays intact — exercises partial-transfer handling).
+    Short {
+        /// Byte offset at which transfers become single-byte.
+        offset: u64,
+    },
+    /// The call that would reach `offset` fails with [`io::ErrorKind::Other`],
+    /// and keeps failing (a dead disk, not a transient hiccup).
+    Error {
+        /// Byte offset at which the stream starts erroring.
+        offset: u64,
+    },
+}
+
+fn injected_error() -> io::Error {
+    io::Error::other("injected fault")
+}
+
+/// Flips the configured bit in `buf` if the fault's offset falls inside
+/// the `[pos, pos + buf.len())` window just transferred.
+fn apply_flip(fault: Fault, pos: u64, buf: &mut [u8]) {
+    if let Fault::FlipBit { offset, bit } = fault {
+        if offset >= pos && offset < pos + buf.len() as u64 {
+            buf[(offset - pos) as usize] ^= 1 << (bit & 7);
+        }
+    }
+}
+
+/// A `Read` wrapper that injects its [`Fault`] at the configured offset.
+pub struct FaultReader<R> {
+    inner: R,
+    fault: Fault,
+    pos: u64,
+}
+
+impl<R: Read> FaultReader<R> {
+    /// Wraps `inner` with the given fault.
+    pub fn new(inner: R, fault: Fault) -> Self {
+        FaultReader { inner, fault, pos: 0 }
+    }
+
+    /// Bytes yielded so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+impl<R: Read> Read for FaultReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut limit = buf.len();
+        match self.fault {
+            Fault::Truncate { offset } => {
+                if self.pos >= offset {
+                    return Ok(0);
+                }
+                limit = limit.min((offset - self.pos) as usize);
+            }
+            Fault::Short { offset } => {
+                if self.pos >= offset {
+                    limit = limit.min(1);
+                }
+            }
+            Fault::Error { offset } => {
+                if self.pos + buf.len() as u64 > offset {
+                    return Err(injected_error());
+                }
+            }
+            Fault::FlipBit { .. } => {}
+        }
+        let n = self.inner.read(&mut buf[..limit])?;
+        apply_flip(self.fault, self.pos, &mut buf[..n]);
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// A `Write` wrapper that injects its [`Fault`] at the configured offset.
+pub struct FaultWriter<W> {
+    inner: W,
+    fault: Fault,
+    pos: u64,
+}
+
+impl<W: Write> FaultWriter<W> {
+    /// Wraps `inner` with the given fault.
+    pub fn new(inner: W, fault: Fault) -> Self {
+        FaultWriter { inner, fault, pos: 0 }
+    }
+
+    /// Bytes accepted so far (including silently dropped ones).
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// The inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.fault {
+            Fault::Truncate { offset } => {
+                // Pretend success but drop everything past the offset — a
+                // torn write the caller cannot see until read-back.
+                let keep = if self.pos >= offset {
+                    0
+                } else {
+                    buf.len().min((offset - self.pos) as usize)
+                };
+                self.inner.write_all(&buf[..keep])?;
+                self.pos += buf.len() as u64;
+                Ok(buf.len())
+            }
+            Fault::FlipBit { .. } => {
+                let mut copy = buf.to_vec();
+                apply_flip(self.fault, self.pos, &mut copy);
+                let n = self.inner.write(&copy)?;
+                self.pos += n as u64;
+                Ok(n)
+            }
+            Fault::Short { offset } => {
+                let limit = if self.pos >= offset { buf.len().min(1) } else { buf.len() };
+                let n = self.inner.write(&buf[..limit])?;
+                self.pos += n as u64;
+                Ok(n)
+            }
+            Fault::Error { offset } => {
+                if self.pos + buf.len() as u64 > offset {
+                    return Err(injected_error());
+                }
+                let n = self.inner.write(buf)?;
+                self.pos += n as u64;
+                Ok(n)
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncating_reader_ends_early() {
+        let data = [1u8, 2, 3, 4, 5, 6];
+        let mut r = FaultReader::new(&data[..], Fault::Truncate { offset: 4 });
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, &data[..4]);
+    }
+
+    #[test]
+    fn flipping_reader_corrupts_exactly_one_bit() {
+        let data = [0u8; 8];
+        let mut r = FaultReader::new(&data[..], Fault::FlipBit { offset: 5, bit: 3 });
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        let mut want = data;
+        want[5] = 1 << 3;
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn short_reader_preserves_data() {
+        let data: Vec<u8> = (0..64).collect();
+        let mut r = FaultReader::new(&data[..], Fault::Short { offset: 10 });
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data, "short reads degrade throughput, not data");
+    }
+
+    #[test]
+    fn erroring_reader_fails_at_offset() {
+        let data = [0u8; 32];
+        let mut r = FaultReader::new(&data[..], Fault::Error { offset: 8 });
+        let mut first = [0u8; 8];
+        r.read_exact(&mut first).unwrap();
+        assert!(r.read_exact(&mut first).is_err(), "reads past the offset must error");
+    }
+
+    #[test]
+    fn torn_writer_reports_success_but_drops_the_tail() {
+        let mut w = FaultWriter::new(Vec::new(), Fault::Truncate { offset: 3 });
+        w.write_all(b"abcdef").unwrap();
+        assert_eq!(w.into_inner(), b"abc");
+    }
+
+    #[test]
+    fn erroring_writer_fails_at_offset() {
+        let mut w = FaultWriter::new(Vec::new(), Fault::Error { offset: 4 });
+        assert!(w.write_all(b"abcd").is_ok());
+        assert!(w.write_all(b"e").is_err());
+    }
+}

@@ -46,6 +46,8 @@ pub fn chains(h: &Harness) -> ChainsFigure {
             .as_deref()
             .map(|p| &p.hyperedge)
             .or(built.as_ref())
+            // invariant: `built` is Some exactly when `prepared` is None,
+            // so one branch always supplies the OAG.
             .expect("one of the two sources is set");
         let chunks = partition(&g, Side::Hyperedge, 16);
         let frontier = Frontier::full(g.num_hyperedges());

@@ -16,6 +16,17 @@
 //! serially from the warmed memo, so **output is bit-identical for any
 //! thread count** — parallelism only changes wall-clock time. See
 //! DESIGN.md §"Parallel evaluation".
+//!
+//! # Fault tolerance
+//!
+//! Each grid cell runs under `catch_unwind` with one retry, so a panicking
+//! workload cannot abort the rest of a multi-hour grid: the failing cell is
+//! recorded as a [`CellError`] (see [`Harness::prefetch`]'s [`GridOutcome`]
+//! and [`Harness::cell_failures`]) while every other cell completes with
+//! bit-identical output. Memo tables recover from mutex poisoning instead
+//! of propagating it, and failures are *not* memoized — a later attempt of
+//! the same cell may succeed (e.g. after a transient fault). See DESIGN.md
+//! §"Fault tolerance".
 
 mod alternatives;
 mod chains;
@@ -45,8 +56,10 @@ use hyperalgos::{run_workload_prepared, Workload};
 use hypergraph::datasets::Dataset;
 use hypergraph::{Hypergraph, Side};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// The systems compared across the evaluation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -99,6 +112,68 @@ impl System {
 /// One evaluation-grid cell.
 pub type Job = (Dataset, Workload, System);
 
+/// How often a failed cell is re-attempted before being reported as
+/// failed: one retry, so a cell is tried at most twice.
+const CELL_RETRIES: u32 = 1;
+
+/// A cell of the evaluation grid that panicked (workload bug, resource
+/// exhaustion, injected fault) after all retries.
+#[derive(Clone, Debug)]
+pub struct CellError {
+    /// The `(dataset, workload, system)` cell that failed.
+    pub job: Job,
+    /// Total attempts made (initial run plus retries).
+    pub attempts: u32,
+    /// Rendered panic payload of the last attempt.
+    pub message: String,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (ds, w, sys) = self.job;
+        write!(
+            f,
+            "{:?}/{:?}/{} failed after {} attempt(s): {}",
+            ds,
+            w,
+            sys.label(),
+            self.attempts,
+            self.message
+        )
+    }
+}
+
+/// Structured result of warming an evaluation grid: how many cells
+/// completed, and a per-cell error for every cell that kept panicking
+/// after its retry. One bad cell no longer kills the run — the caller
+/// decides whether partial results are acceptable.
+#[derive(Clone, Debug, Default)]
+pub struct GridOutcome {
+    /// Number of distinct cells whose report is now memoized.
+    pub completed: usize,
+    /// Cells that failed even after retrying, in job-submission order.
+    pub failed: Vec<CellError>,
+}
+
+impl GridOutcome {
+    /// `true` when every cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+/// Renders a `catch_unwind` payload (typically a `&str` or `String` from
+/// `panic!`) for error reports.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A single-flight memo slot: cloned out of the table under the lock,
 /// initialized outside it. `OnceLock::get_or_init` blocks latecomers until
 /// the winner finishes, so each key is computed exactly once.
@@ -108,7 +183,10 @@ fn slot_for<K, V>(table: &Mutex<HashMap<K, Slot<V>>>, key: K) -> Slot<V>
 where
     K: std::hash::Hash + Eq,
 {
-    table.lock().expect("memo poisoned").entry(key).or_default().clone()
+    // Recover from poisoning rather than propagating it: the table layout
+    // is an insert-only map of Arc slots, which stays consistent even if a
+    // panic unwound through a past lock holder.
+    table.lock().unwrap_or_else(PoisonError::into_inner).entry(key).or_default().clone()
 }
 
 /// Execution context of the harness: scale, machine configuration, worker
@@ -128,6 +206,9 @@ pub struct Harness {
     graphs: Mutex<HashMap<Dataset, Slot<Arc<Hypergraph>>>>,
     prepared: Mutex<HashMap<Dataset, Slot<Arc<PreparedOags>>>>,
     reports: Mutex<HashMap<Job, Slot<Arc<ExecutionReport>>>>,
+    cell_failures: Mutex<Vec<CellError>>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault_hook: Option<Arc<dyn Fn(Job) + Send + Sync>>,
 }
 
 impl Harness {
@@ -165,7 +246,20 @@ impl Harness {
             graphs: Mutex::new(HashMap::new()),
             prepared: Mutex::new(HashMap::new()),
             reports: Mutex::new(HashMap::new()),
+            cell_failures: Mutex::new(Vec::new()),
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault_hook: None,
         }
+    }
+
+    /// Installs a fault-injection hook invoked at the start of every cell
+    /// computation (test support, behind the `fault-injection` feature).
+    /// A hook that panics simulates a panicking workload; the harness must
+    /// isolate it exactly like a real one.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn with_fault_hook(mut self, hook: impl Fn(Job) + Send + Sync + 'static) -> Self {
+        self.fault_hook = Some(Arc::new(hook));
+        self
     }
 
     /// Sets the worker-thread count used by [`prefetch`](Self::prefetch),
@@ -239,21 +333,78 @@ impl Harness {
     }
 
     /// The (memoized) execution report of `workload` on `ds` under `sys`.
+    ///
+    /// Panics if the cell keeps failing after [`try_report`](Self::try_report)'s
+    /// retry — use `try_report` where a structured error is wanted.
     pub fn report(&self, ds: Dataset, workload: Workload, sys: System) -> Arc<ExecutionReport> {
-        slot_for(&self.reports, (ds, workload, sys))
-            .get_or_init(|| {
-                let g = self.graph(ds);
-                let prepared = sys.uses_oags().then(|| self.prepared(ds));
-                let runtime = sys.runtime();
-                Arc::new(run_workload_prepared(
-                    workload,
-                    runtime.as_ref(),
-                    &g,
-                    &self.cfg,
-                    prepared.as_deref(),
-                ))
-            })
-            .clone()
+        self.try_report(ds, workload, sys).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolated variant of [`report`](Self::report): the simulation
+    /// runs under `catch_unwind`, a panicking cell is retried once, and a
+    /// cell that still fails yields a [`CellError`] (also recorded in
+    /// [`cell_failures`](Self::cell_failures)) instead of unwinding into
+    /// the caller. Failures are not memoized, so a later call may succeed.
+    pub fn try_report(
+        &self,
+        ds: Dataset,
+        workload: Workload,
+        sys: System,
+    ) -> Result<Arc<ExecutionReport>, CellError> {
+        let job = (ds, workload, sys);
+        let slot = slot_for(&self.reports, job);
+        if let Some(r) = slot.get() {
+            return Ok(r.clone());
+        }
+        let mut last = None;
+        for _attempt in 0..=CELL_RETRIES {
+            // `OnceLock::get_or_init` leaves the cell uninitialized when
+            // the initializer panics, so the retry re-runs it; if another
+            // worker won the race meanwhile, we just get its value.
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                slot.get_or_init(|| Arc::new(self.compute_report(job))).clone()
+            }));
+            match run {
+                Ok(r) => return Ok(r),
+                Err(payload) => last = Some(panic_message(payload)),
+            }
+        }
+        let err = CellError {
+            job,
+            attempts: CELL_RETRIES + 1,
+            message: last.unwrap_or_else(|| "unknown panic".into()),
+        };
+        self.record_failure(err.clone());
+        Err(err)
+    }
+
+    /// The uninsulated cell computation (runs inside `catch_unwind`).
+    fn compute_report(&self, (ds, workload, sys): Job) -> ExecutionReport {
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(hook) = &self.fault_hook {
+            hook((ds, workload, sys));
+        }
+        let g = self.graph(ds);
+        let prepared = sys.uses_oags().then(|| self.prepared(ds));
+        let runtime = sys.runtime();
+        run_workload_prepared(workload, runtime.as_ref(), &g, &self.cfg, prepared.as_deref())
+    }
+
+    /// Records a post-retry cell failure (deduplicated by job, since the
+    /// figure-emission layer may re-attempt a cell prefetch already gave
+    /// up on).
+    fn record_failure(&self, err: CellError) {
+        let mut failures = self.cell_failures.lock().unwrap_or_else(PoisonError::into_inner);
+        if !failures.iter().any(|f| f.job == err.job) {
+            failures.push(err);
+        }
+    }
+
+    /// Every cell that failed after retries over the life of this harness
+    /// (across all `prefetch`/`try_report` calls), deduplicated by job.
+    /// Empty for a fully healthy run.
+    pub fn cell_failures(&self) -> Vec<CellError> {
+        self.cell_failures.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Warms the report memo for `jobs` across the harness's worker
@@ -261,13 +412,28 @@ impl Harness {
     /// single-flighted, so each simulation runs exactly once; the memo
     /// contents — and therefore everything later emitted from it — are
     /// bit-identical to computing the same keys serially.
-    pub fn prefetch(&self, jobs: impl IntoIterator<Item = Job>) {
+    ///
+    /// Cells are panic-isolated: a failing cell is retried once and then
+    /// reported in the returned [`GridOutcome`] while every other cell
+    /// completes normally.
+    pub fn prefetch(&self, jobs: impl IntoIterator<Item = Job>) -> GridOutcome {
         let mut seen = HashSet::new();
         let jobs: Vec<Job> = jobs.into_iter().filter(|j| seen.insert(*j)).collect();
+        let failed: Vec<Mutex<Option<CellError>>> =
+            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
         self.for_each_parallel(jobs.len(), |i| {
             let (ds, w, sys) = jobs[i];
-            self.report(ds, w, sys);
+            if let Err(e) = self.try_report(ds, w, sys) {
+                *failed[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(e);
+            }
         });
+        // Collect in job-submission order so the outcome is deterministic
+        // regardless of worker completion order.
+        let failed: Vec<CellError> = failed
+            .into_iter()
+            .filter_map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        GridOutcome { completed: jobs.len() - failed.len(), failed }
     }
 
     /// Runs `workload` on `ds` under `sys` with an explicit non-memoized
@@ -290,23 +456,50 @@ impl Harness {
     /// worker threads, returning reports **in job order** (results are
     /// written into per-index slots, so completion order is irrelevant and
     /// the output is bit-identical to a serial loop).
+    ///
+    /// Each job is panic-isolated and retried once, so a transient fault
+    /// costs one re-run; a job that fails both attempts re-raises its
+    /// panic after the rest of the batch has finished (sensitivity sweeps
+    /// need every point, so there is no partial-result shape here — the
+    /// figures binary isolates the artifact instead).
     pub fn run_batch(
         &self,
         jobs: &[(Dataset, Workload, System, RunConfig)],
     ) -> Vec<ExecutionReport> {
         let slots: Vec<OnceLock<ExecutionReport>> =
             (0..jobs.len()).map(|_| OnceLock::new()).collect();
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         self.for_each_parallel(jobs.len(), |i| {
             let (ds, w, sys, cfg) = &jobs[i];
-            let report = self.run_with(*ds, *w, *sys, cfg);
-            let _ = slots[i].set(report);
+            let attempt = || catch_unwind(AssertUnwindSafe(|| self.run_with(*ds, *w, *sys, cfg)));
+            match attempt().or_else(|_| attempt()) {
+                Ok(report) => {
+                    let _ = slots[i].set(report);
+                }
+                Err(payload) => {
+                    let mut first = first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+                    first.get_or_insert(payload);
+                }
+            }
         });
-        slots.into_iter().map(|s| s.into_inner().expect("batch worker filled its slot")).collect()
+        if let Some(payload) = first_panic.into_inner().unwrap_or_else(PoisonError::into_inner) {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|s| {
+                // invariant: every worker either filled its slot or
+                // recorded a panic, and panics re-raised above.
+                s.into_inner().expect("batch worker filled its slot")
+            })
+            .collect()
     }
 
     /// Work-queue fan-out: indexes `0..n` are claimed from a shared atomic
     /// counter by `min(threads, n)` scoped workers (or run inline when one
-    /// worker suffices). A worker panic propagates to the caller.
+    /// worker suffices). Work items are expected to do their own panic
+    /// isolation (`try_report`, `run_batch`'s catch); an item that unwinds
+    /// anyway propagates out of the scope join.
     fn for_each_parallel(&self, n: usize, work: impl Fn(usize) + Sync) {
         let workers = self.threads.min(n);
         if workers <= 1 {
@@ -421,6 +614,70 @@ mod tests {
         for ((ds, w, sys, cfg), got) in jobs.iter().zip(&batch) {
             assert_eq!(*got, h.run_with(*ds, *w, *sys, cfg), "{w:?} out of order");
         }
+    }
+
+    #[test]
+    fn persistent_cell_panic_is_isolated_and_reported() {
+        let bad = (Dataset::LiveJournal, Workload::Cc, System::ChGraph);
+        let h = Harness::new(Scale(0.05)).with_threads(4).with_fault_hook(move |job| {
+            if job == bad {
+                panic!("injected persistent fault");
+            }
+        });
+        let jobs = grid(
+            &[Workload::Cc, Workload::Bfs],
+            &[Dataset::LiveJournal],
+            &[System::Hygra, System::ChGraph],
+        );
+        let outcome = h.prefetch(jobs.iter().copied());
+        assert_eq!(outcome.failed.len(), 1, "exactly the injected cell fails");
+        assert_eq!(outcome.failed[0].job, bad);
+        assert_eq!(outcome.failed[0].attempts, 2, "one retry before giving up");
+        assert!(outcome.failed[0].message.contains("injected persistent fault"));
+        assert_eq!(outcome.completed, jobs.len() - 1);
+        assert_eq!(h.cell_failures().len(), 1);
+        // Healthy cells are untouched by the neighbor's failure.
+        let clean = Harness::new(Scale(0.05));
+        for &(ds, w, sys) in jobs.iter().filter(|&&j| j != bad) {
+            assert_eq!(*h.report(ds, w, sys), *clean.report(ds, w, sys));
+        }
+    }
+
+    #[test]
+    fn transient_cell_panic_is_retried_to_success() {
+        use std::sync::atomic::AtomicU32;
+        let bad = (Dataset::LiveJournal, Workload::Cc, System::Hygra);
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = calls.clone();
+        let h = Harness::new(Scale(0.05)).with_fault_hook(move |job| {
+            if job == bad && seen.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected transient fault");
+            }
+        });
+        let outcome = h.prefetch([bad]);
+        assert!(outcome.is_complete(), "retry must recover: {:?}", outcome.failed);
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "initial attempt plus one retry");
+        assert!(h.cell_failures().is_empty());
+        let clean = Harness::new(Scale(0.05));
+        assert_eq!(*h.report(bad.0, bad.1, bad.2), *clean.report(bad.0, bad.1, bad.2));
+    }
+
+    #[test]
+    fn failures_are_not_memoized() {
+        use std::sync::atomic::AtomicBool;
+        let bad = (Dataset::LiveJournal, Workload::Bfs, System::Hygra);
+        let arm = Arc::new(AtomicBool::new(true));
+        let armed = arm.clone();
+        let h = Harness::new(Scale(0.05)).with_fault_hook(move |job| {
+            if job == bad && armed.load(Ordering::SeqCst) {
+                panic!("injected while armed");
+            }
+        });
+        assert!(h.try_report(bad.0, bad.1, bad.2).is_err());
+        arm.store(false, Ordering::SeqCst);
+        let recovered = h.try_report(bad.0, bad.1, bad.2).expect("fault cleared");
+        let clean = Harness::new(Scale(0.05));
+        assert_eq!(*recovered, *clean.report(bad.0, bad.1, bad.2));
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub fn fig21(h: &Harness) -> Fig21 {
         // were built with the figure's config; build fresh otherwise.
         let (oag_stats, oag_bytes) = if h.cfg.oag == OagConfig::new() {
             let p = h.prepared(ds);
+            // invariant: PreparedOags::from_parts always records build
+            // stats in its report.
             let merged = p.report.oag_build.expect("prepared report carries OAG stats");
             (merged, p.hyperedge.size_bytes() + p.vertex.size_bytes())
         } else {

@@ -37,6 +37,8 @@ pub fn fig17(h: &Harness) -> Fig17 {
         let mut row = vec![ds.abbrev().to_string()];
         let mut base = 0u64;
         for (i, &d) in sweep.iter().enumerate() {
+            // invariant: run_batch returns exactly one report per
+            // submitted job, in order.
             let r = reports.next().expect("one report per job");
             samples.push((d, ds, r.cycles));
             if i == 0 {
@@ -86,6 +88,8 @@ pub fn fig18(h: &Harness) -> Fig18 {
         let mut row = vec![ds.abbrev().to_string()];
         let mut base = 0u64;
         for (i, &w) in sweep.iter().enumerate() {
+            // invariant: run_batch returns exactly one report per
+            // submitted job, in order.
             let r = reports.next().expect("one report per job");
             samples.push((w, ds, r.cycles));
             if i == 0 {
@@ -147,6 +151,8 @@ pub fn fig19(h: &Harness) -> Fig19 {
             let mut row = vec![w.abbrev().to_string(), sys.label().to_string()];
             let mut base = 0u64;
             for (i, &llc) in sweep.iter().enumerate() {
+                // invariant: run_batch returns exactly one report per
+                // submitted job, in order.
                 let r = reports.next().expect("one report per job");
                 samples.push((llc, w, r.cycles, 0));
                 if i == 0 {
@@ -203,6 +209,8 @@ pub fn fig20(h: &Harness) -> Fig20 {
             let mut row = vec![ds.abbrev().to_string(), sys.label().to_string()];
             let mut base = 0u64;
             for (i, &c) in sweep.iter().enumerate() {
+                // invariant: run_batch returns exactly one report per
+                // submitted job, in order.
                 let r = reports.next().expect("one report per job");
                 samples.push((c, ds, sys.label(), r.cycles));
                 if i == 0 {

@@ -20,6 +20,8 @@
 //! `tests/`.
 
 pub mod cache;
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod faultutil;
 pub mod figures;
 mod scale;
 mod table;

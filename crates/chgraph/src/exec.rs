@@ -448,6 +448,8 @@ impl<'a> Driver<'a> {
             // FIFO back-pressure: the CP may run at most `fifo_capacity`
             // tuples ahead of the core.
             if ring.len() >= self.cfg.fifo_capacity {
+                // invariant: fifo_capacity >= 1, so a ring at capacity has
+                // a front element.
                 let must_wait = ring.pop_front().expect("ring nonempty");
                 let stall = must_wait.saturating_sub(self.cp[core].now());
                 self.engine.fifo_full_stalls += stall;
@@ -631,6 +633,9 @@ impl<'a> Driver<'a> {
     /// compute cost for every micro-step — the overhead that makes the
     /// software solution slower than Hygra (Fig. 3).
     fn software_chain_schedules(&mut self, src: Side, frontier: &Frontier) -> Vec<CoreSchedule> {
+        // invariant: the runtime constructs both OAGs before entering a
+        // chain mode; only an internal dispatch bug could reach here
+        // without one.
         let oag = self.oag_for(src).expect("chain modes require an OAG");
         let pr = phase_regions(src);
         let chunks = self.chunks_for(src).to_vec();
@@ -725,6 +730,8 @@ impl<'a> Driver<'a> {
     /// time; accesses enter at the L2 with deep decoupled overlap. Selected
     /// elements are marked inactive in the bitmap by the hardware.
     fn hardware_chain_schedules(&mut self, src: Side, frontier: &Frontier) -> Vec<CoreSchedule> {
+        // invariant: see software_chain_schedules — OAGs exist before any
+        // chain mode runs.
         let oag = self.oag_for(src).expect("chain modes require an OAG");
         let pr = phase_regions(src);
         let chunks = self.chunks_for(src).to_vec();

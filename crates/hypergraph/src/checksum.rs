@@ -1,0 +1,163 @@
+//! Streaming FNV-1a checksums for the binary on-disk formats.
+//!
+//! The v2 binary formats (`hypergraph::io`, `oag::io`, and the bench
+//! crate's cache entries) append a 64-bit FNV-1a digest of everything that
+//! precedes it, so a truncated, torn or bit-flipped file is detected at
+//! read time instead of being deserialized into silently wrong data. FNV-1a
+//! is not cryptographic — the threat model is storage corruption, not an
+//! adversary — but it is streaming, dependency-free and byte-order stable.
+//!
+//! [`HashingWriter`] and [`HashingReader`] wrap any `Write`/`Read` and
+//! digest every byte that passes through, so the existing serializers
+//! double as checksummers without buffering whole artifacts in memory.
+
+use std::io::{Read, Write};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher in the initial (offset-basis) state.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Digests `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current digest value.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot convenience: the FNV-1a digest of `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.digest()
+}
+
+/// A `Write` adapter that digests every byte it forwards to the inner
+/// writer. Used by the v2 binary writers: serialize through the adapter,
+/// then append [`HashingWriter::digest`] to the inner writer directly (the
+/// trailing checksum bytes must not hash themselves).
+pub struct HashingWriter<W> {
+    inner: W,
+    hash: Fnv64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    /// Wraps `inner`.
+    pub fn new(inner: W) -> Self {
+        HashingWriter { inner, hash: Fnv64::new() }
+    }
+
+    /// Digest of everything written so far.
+    pub fn digest(&self) -> u64 {
+        self.hash.digest()
+    }
+
+    /// Returns the inner writer (for appending the un-hashed trailer).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A `Read` adapter that digests every byte it yields. Used by the v2
+/// binary readers: deserialize through the adapter, then read the trailing
+/// stored checksum from [`HashingReader::get_mut`] (so the trailer itself
+/// is not hashed) and compare it against [`HashingReader::digest`].
+pub struct HashingReader<R> {
+    inner: R,
+    hash: Fnv64,
+}
+
+impl<R: Read> HashingReader<R> {
+    /// Wraps `inner`.
+    pub fn new(inner: R) -> Self {
+        HashingReader { inner, hash: Fnv64::new() }
+    }
+
+    /// Digest of everything read so far.
+    pub fn digest(&self) -> u64 {
+        self.hash.digest()
+    }
+
+    /// The inner reader, bypassing the hash (for the checksum trailer).
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo");
+        h.update(b"bar");
+        assert_eq!(h.digest(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn writer_and_reader_agree() {
+        let mut w = HashingWriter::new(Vec::new());
+        w.write_all(b"hello checksum world").unwrap();
+        let wd = w.digest();
+        let buf = w.into_inner();
+        let mut r = HashingReader::new(&buf[..]);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, buf);
+        assert_eq!(r.digest(), wd);
+        assert_eq!(wd, fnv1a(b"hello checksum world"));
+    }
+}

@@ -37,6 +37,9 @@ impl Csr {
         let mut targets = Vec::with_capacity(total);
         for row in &rows {
             targets.extend_from_slice(row);
+            // invariant: ids are u32, so a structurally valid CSR cannot
+            // exceed u32::MAX targets; overflow means the caller built an
+            // impossible graph and nothing downstream could represent it.
             offsets.push(u32::try_from(targets.len()).expect("CSR exceeds u32 edge capacity"));
         }
         Csr { offsets, targets }
@@ -52,6 +55,8 @@ impl Csr {
         assert!(!offsets.is_empty(), "CSR offsets must contain at least one entry");
         assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "CSR offsets must be non-decreasing");
         assert_eq!(
+            // invariant: the preceding assert guarantees offsets is
+            // non-empty.
             *offsets.last().expect("nonempty") as usize,
             targets.len(),
             "final CSR offset must equal the number of targets"
@@ -148,6 +153,8 @@ impl Csr {
         for (src, row) in self.iter() {
             for &t in row {
                 let slot = cursor[t as usize];
+                // invariant: `src` indexes this CSR's rows, whose count is
+                // bounded by u32 offsets.
                 targets[slot as usize] = u32::try_from(src).expect("row id fits u32");
                 cursor[t as usize] += 1;
             }

@@ -263,6 +263,9 @@ impl GeneratorConfig {
         for (_, members) in hyperedges {
             builder
                 .add_hyperedge(members.into_iter().map(VertexId::new))
+                // invariant: the generator samples non-empty member sets
+                // with ids below self.num_vertices, the only two ways
+                // add_hyperedge can fail.
                 .expect("generated hyperedge is valid");
         }
         builder.build()
@@ -314,6 +317,9 @@ pub fn two_uniform_graph(num_vertices: usize, num_edges: usize, seed: u64) -> Hy
         }
         builder
             .add_hyperedge([VertexId::new(a), VertexId::new(b)])
+            // invariant: both endpoints were just sampled/wrapped modulo
+            // num_vertices, so they are in range and the pair is
+            // non-empty.
             .expect("two distinct in-range endpoints");
         endpoints.push(a);
         endpoints.push(b);

@@ -43,6 +43,7 @@
 //! ```
 
 mod build;
+pub mod checksum;
 pub mod chunk;
 mod csr;
 pub mod datasets;
@@ -71,6 +72,8 @@ pub use ids::{HyperedgeId, Side, VertexId};
 pub fn fig1_example() -> Hypergraph {
     let mut b = HypergraphBuilder::new(7);
     for he in [&[0u32, 4, 6][..], &[1, 2, 3, 5], &[0, 2, 4], &[1, 3]] {
+        // invariant: the literal ids above are all < 7 and every set is
+        // non-empty.
         b.add_hyperedge(he.iter().copied().map(VertexId::new)).expect("fig1 hyperedges are valid");
     }
     b.build()

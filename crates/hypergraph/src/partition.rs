@@ -184,6 +184,8 @@ mod tests {
             b.add_hyperedge(
                 g.incidence(Side::Hyperedge, h).iter().map(|&v| crate::VertexId::new(v)),
             )
+            // invariant: rows copied verbatim from a valid hypergraph of
+            // the same vertex count cannot be empty or out of range.
             .expect("copied hyperedges are valid");
         }
         b.build()

@@ -113,6 +113,10 @@ impl OagConfig {
                     .into_iter()
                     .map(|s| scope.spawn(move || self.count_span(g, side, s)))
                     .collect();
+                // invariant: count_span is pure arithmetic over a
+                // validated graph; a panic there is a bug, and silently
+                // dropping a span would corrupt the merged OAG, so the
+                // panic is re-propagated rather than recovered.
                 handles.into_iter().map(|h| h.join().expect("OAG span worker panicked")).collect()
             })
         };
@@ -129,6 +133,9 @@ impl OagConfig {
         for part in parts {
             for len in part.row_lens {
                 running += len as u64;
+                // invariant: node ids are u32 and max_degree caps edges
+                // per node, so the total edge count fits u32 by
+                // construction.
                 offsets.push(u32::try_from(running).expect("OAG edge count fits u32"));
             }
             edges.extend_from_slice(&part.edges);

@@ -4,16 +4,27 @@
 //! across algorithm executions (§IV-A, §VI-G). This module provides the
 //! compact on-disk format a system would cache it in: a magic/version
 //! header, the side tag and `W_min`, then the three raw arrays
-//! (`OAG_offset`, `OAG_edge`, `OAG_weight`) in little-endian.
+//! (`OAG_offset`, `OAG_edge`, `OAG_weight`) in little-endian, and — since
+//! format v2 — a trailing FNV-1a checksum of everything before it so
+//! storage corruption is detected at read time instead of being
+//! deserialized into a silently wrong OAG.
 
 use crate::Oag;
+use hypergraph::checksum::{HashingReader, HashingWriter};
 use hypergraph::Side;
 use std::error::Error;
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"CHGO";
-const VERSION: u32 = 1;
+/// Version written by [`write_binary`]; [`read_binary`] also accepts the
+/// checksum-less legacy v1.
+const VERSION: u32 = 2;
+/// Oldest version [`read_binary`] accepts.
+const MIN_VERSION: u32 = 1;
+/// Upper bound on a deserialized array length (ids are `u32`, so any real
+/// OAG fits well under this); larger values can only be corruption.
+const MAX_ARRAY_LEN: u64 = 1 << 33;
 
 /// Error returned by [`read_binary`].
 #[derive(Debug)]
@@ -22,6 +33,13 @@ pub enum ReadOagError {
     Io(std::io::Error),
     /// Bad magic, version, or inconsistent arrays.
     Malformed(String),
+    /// The trailing v2 checksum did not match the file contents.
+    ChecksumMismatch {
+        /// Digest stored in the file trailer.
+        stored: u64,
+        /// Digest computed over the bytes actually read.
+        computed: u64,
+    },
 }
 
 impl fmt::Display for ReadOagError {
@@ -29,6 +47,12 @@ impl fmt::Display for ReadOagError {
         match self {
             ReadOagError::Io(e) => write!(f, "i/o error: {e}"),
             ReadOagError::Malformed(m) => write!(f, "malformed OAG file: {m}"),
+            ReadOagError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "OAG checksum mismatch: file says {stored:#018x}, contents hash to {computed:#018x}"
+                )
+            }
         }
     }
 }
@@ -37,7 +61,7 @@ impl Error for ReadOagError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ReadOagError::Io(e) => Some(e),
-            ReadOagError::Malformed(_) => None,
+            _ => None,
         }
     }
 }
@@ -56,10 +80,16 @@ fn write_u32s<W: Write>(w: &mut W, values: &[u32]) -> std::io::Result<()> {
     Ok(())
 }
 
-fn read_u32s<R: BufRead>(r: &mut R) -> Result<Vec<u32>, ReadOagError> {
+fn read_u32s<R: Read>(r: &mut R, what: &str) -> Result<Vec<u32>, ReadOagError> {
     let mut len8 = [0u8; 8];
     r.read_exact(&mut len8)?;
-    let len = u64::from_le_bytes(len8) as usize;
+    let len = u64::from_le_bytes(len8);
+    if len > MAX_ARRAY_LEN {
+        return Err(ReadOagError::Malformed(format!(
+            "implausible {what} length {len} (corrupt length field?)"
+        )));
+    }
+    let len = len as usize;
     let mut out = Vec::with_capacity(len.min(1 << 24));
     let mut buf = [0u8; 4];
     for _ in 0..len {
@@ -69,12 +99,14 @@ fn read_u32s<R: BufRead>(r: &mut R) -> Result<Vec<u32>, ReadOagError> {
     Ok(out)
 }
 
-/// Writes `oag` in the binary format.
+/// Writes `oag` in the binary format (v2: payload plus trailing FNV-1a
+/// checksum).
 ///
 /// # Errors
 ///
 /// Propagates any I/O error from `w`.
-pub fn write_binary<W: Write>(oag: &Oag, mut w: W) -> std::io::Result<()> {
+pub fn write_binary<W: Write>(oag: &Oag, w: W) -> std::io::Result<()> {
+    let mut w = HashingWriter::new(w);
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(&[match oag.side() {
@@ -85,16 +117,23 @@ pub fn write_binary<W: Write>(oag: &Oag, mut w: W) -> std::io::Result<()> {
     write_u32s(&mut w, oag.offsets())?;
     write_u32s(&mut w, oag.edges())?;
     write_u32s(&mut w, oag.weights())?;
-    Ok(())
+    let digest = w.digest();
+    w.into_inner().write_all(&digest.to_le_bytes())
 }
 
-/// Reads an OAG written by [`write_binary`].
+/// Reads an OAG written by [`write_binary`]. Accepts both format versions:
+/// v2 (current, trailing checksum verified) and the legacy checksum-less
+/// v1. Every deserialized offset and edge id is bounds-validated before
+/// the OAG is constructed.
 ///
 /// # Errors
 ///
-/// Returns [`ReadOagError::Malformed`] for header or consistency problems
-/// and [`ReadOagError::Io`] for underlying failures (including truncation).
-pub fn read_binary<R: BufRead>(mut r: R) -> Result<Oag, ReadOagError> {
+/// Returns [`ReadOagError::Malformed`] for header or consistency problems,
+/// [`ReadOagError::ChecksumMismatch`] when the v2 trailer disagrees with
+/// the contents, and [`ReadOagError::Io`] for underlying failures
+/// (including truncation).
+pub fn read_binary<R: Read>(r: R) -> Result<Oag, ReadOagError> {
+    let mut r = HashingReader::new(r);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -102,8 +141,9 @@ pub fn read_binary<R: BufRead>(mut r: R) -> Result<Oag, ReadOagError> {
     }
     let mut ver = [0u8; 4];
     r.read_exact(&mut ver)?;
-    if u32::from_le_bytes(ver) != VERSION {
-        return Err(ReadOagError::Malformed("unsupported version".into()));
+    let version = u32::from_le_bytes(ver);
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(ReadOagError::Malformed(format!("unsupported version {version}")));
     }
     let mut side_byte = [0u8; 1];
     r.read_exact(&mut side_byte)?;
@@ -115,12 +155,23 @@ pub fn read_binary<R: BufRead>(mut r: R) -> Result<Oag, ReadOagError> {
     let mut wmin4 = [0u8; 4];
     r.read_exact(&mut wmin4)?;
     let w_min = u32::from_le_bytes(wmin4);
-    let offsets = read_u32s(&mut r)?;
-    let edges = read_u32s(&mut r)?;
-    let weights = read_u32s(&mut r)?;
-    if offsets.is_empty()
-        || !offsets.windows(2).all(|w| w[0] <= w[1])
-        || *offsets.last().expect("nonempty") as usize != edges.len()
+    let offsets = read_u32s(&mut r, "offsets")?;
+    let edges = read_u32s(&mut r, "edges")?;
+    let weights = read_u32s(&mut r, "weights")?;
+    if version >= 2 {
+        let computed = r.digest();
+        let mut trailer = [0u8; 8];
+        r.get_mut().read_exact(&mut trailer)?;
+        let stored = u64::from_le_bytes(trailer);
+        if stored != computed {
+            return Err(ReadOagError::ChecksumMismatch { stored, computed });
+        }
+    }
+    let Some(&last) = offsets.last() else {
+        return Err(ReadOagError::Malformed("empty offsets".into()));
+    };
+    if !offsets.windows(2).all(|w| w[0] <= w[1])
+        || last as usize != edges.len()
         || edges.len() != weights.len()
     {
         return Err(ReadOagError::Malformed("inconsistent arrays".into()));
@@ -130,6 +181,21 @@ pub fn read_binary<R: BufRead>(mut r: R) -> Result<Oag, ReadOagError> {
         return Err(ReadOagError::Malformed("edge target out of range".into()));
     }
     Ok(Oag::from_parts(side, w_min, offsets, edges, weights))
+}
+
+/// Rewrites a v2 binary blob as the legacy v1 format (patch the version
+/// field, drop the checksum trailer). Exposed for compatibility tests and
+/// migration tooling; new files should always be v2.
+pub fn downgrade_binary_to_v1(v2: &[u8]) -> Option<Vec<u8>> {
+    if v2.len() < 16 || &v2[..4] != MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes([v2[4], v2[5], v2[6], v2[7]]) != 2 {
+        return None;
+    }
+    let mut v1 = v2[..v2.len() - 8].to_vec();
+    v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+    Some(v1)
 }
 
 #[cfg(test)]
@@ -166,6 +232,38 @@ mod tests {
         let mut bad_side = buf.clone();
         bad_side[8] = 7;
         assert!(matches!(read_binary(&bad_side[..]).unwrap_err(), ReadOagError::Malformed(_)));
+    }
+
+    #[test]
+    fn payload_flip_is_a_checksum_mismatch() {
+        let oag = sample();
+        let mut buf = Vec::new();
+        write_binary(&oag, &mut buf).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        assert!(matches!(
+            read_binary(&buf[..]).unwrap_err(),
+            ReadOagError::ChecksumMismatch { .. } | ReadOagError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn v1_files_still_read() {
+        let oag = sample();
+        let mut v2 = Vec::new();
+        write_binary(&oag, &mut v2).unwrap();
+        let v1 = downgrade_binary_to_v1(&v2).expect("well-formed v2 blob");
+        assert_eq!(read_binary(&v1[..]).unwrap(), oag, "v1 must remain readable");
+    }
+
+    #[test]
+    fn implausible_length_is_rejected_quickly() {
+        let oag = sample();
+        let mut buf = Vec::new();
+        write_binary(&oag, &mut buf).unwrap();
+        // Offsets length lives right after magic+version+side+wmin = 13.
+        buf[13..21].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_binary(&buf[..]).is_err());
     }
 
     #[test]

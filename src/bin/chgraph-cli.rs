@@ -174,16 +174,28 @@ fn main() -> ExitCode {
     let Some(flags) = parse_flags(rest) else {
         return usage();
     };
-    let result = match cmd.as_str() {
-        "run" => cmd_run(flags),
-        "stats" => cmd_stats(flags),
-        "gen" => cmd_gen(flags),
-        _ => return usage(),
-    };
+    // Panic isolation: a workload or simulator bug becomes a clean error
+    // exit with a message, never an abort trace reaching the caller.
+    let result = std::panic::catch_unwind(move || match cmd.as_str() {
+        "run" => Some(cmd_run(flags)),
+        "stats" => Some(cmd_stats(flags)),
+        "gen" => Some(cmd_gen(flags)),
+        _ => None,
+    });
     match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Ok(None) => usage(),
+        Ok(Some(Ok(()))) => ExitCode::SUCCESS,
+        Ok(Some(Err(e))) => {
             eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            eprintln!("error: internal panic: {msg}");
             ExitCode::FAILURE
         }
     }

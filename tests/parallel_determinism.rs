@@ -65,6 +65,54 @@ fn harness_grid_is_identical_serial_vs_parallel() {
     }
 }
 
+/// The determinism invariant extends to the *degraded* path: a grid with
+/// one persistently panicking cell completes, reports exactly that cell as
+/// failed after its retry, and produces byte-identical reports for every
+/// other cell versus a fault-free run.
+#[test]
+fn degraded_grid_is_identical_to_healthy_grid_on_surviving_cells() {
+    let datasets = [Dataset::LiveJournal, Dataset::WebTrackers];
+    let workloads = [Workload::Cc, Workload::Bfs];
+    let systems = [System::Hygra, System::ChGraph];
+    let jobs: Vec<_> = datasets
+        .into_iter()
+        .flat_map(|ds| {
+            workloads
+                .into_iter()
+                .flat_map(move |w| systems.into_iter().map(move |sys| (ds, w, sys)))
+        })
+        .collect();
+    let bad = (Dataset::WebTrackers, Workload::Bfs, System::ChGraph);
+
+    let healthy = Harness::new(Scale(0.05)).with_threads(8);
+    let healthy_outcome = healthy.prefetch(jobs.iter().copied());
+    assert!(healthy_outcome.is_complete(), "control run must be clean");
+
+    let degraded = Harness::new(Scale(0.05)).with_threads(8).with_fault_hook(move |job| {
+        if job == bad {
+            panic!("injected persistent fault");
+        }
+    });
+    let outcome = degraded.prefetch(jobs.iter().copied());
+    assert_eq!(outcome.failed.len(), 1, "exactly the injected cell fails: {:?}", outcome.failed);
+    assert_eq!(outcome.failed[0].job, bad);
+    assert_eq!(outcome.failed[0].attempts, 2, "the cell was retried once");
+    assert_eq!(outcome.completed, jobs.len() - 1);
+
+    for &(ds, w, sys) in jobs.iter().filter(|&&j| j != bad) {
+        let clean = healthy.report(ds, w, sys);
+        let survived = degraded.report(ds, w, sys);
+        assert_eq!(*clean, *survived, "{ds:?}/{w:?}/{sys:?} diverged in the degraded grid");
+        // Figures are emitted from Display, so pin byte identity of the
+        // rendered form too.
+        assert_eq!(
+            format!("{clean}"),
+            format!("{survived}"),
+            "{ds:?}/{w:?}/{sys:?} rendered differently in the degraded grid"
+        );
+    }
+}
+
 #[test]
 fn prepared_oags_reuse_is_bit_identical_to_fresh_builds() {
     let cfg = RunConfig::new();
