@@ -58,7 +58,7 @@ pub use cache::{Cache, CacheAccess};
 pub use config::{CacheConfig, DramConfig, NocConfig, SystemConfig};
 pub use dram::DramModel;
 pub use energy::{EnergyModel, EnergyReport};
-pub use machine::{AccessKind, AccessResult, Level, Machine};
+pub use machine::{AccessKind, AccessResult, Level, Machine, MachineConfigError};
 pub use noc::MeshNoc;
 pub use stats::MemStats;
 pub use timer::CoreTimer;

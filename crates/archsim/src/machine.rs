@@ -35,6 +35,33 @@ pub struct AccessResult {
     pub latency: u64,
 }
 
+/// A [`SystemConfig`] the machine model cannot simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachineConfigError {
+    /// The sharer directory tracks private-cache copies in a `u32` bitmask,
+    /// one bit per core; configurations beyond that width cannot model
+    /// coherence.
+    TooManyCores {
+        /// The configured core count.
+        num_cores: usize,
+        /// The maximum the directory supports.
+        max_cores: usize,
+    },
+}
+
+impl std::fmt::Display for MachineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineConfigError::TooManyCores { num_cores, max_cores } => write!(
+                f,
+                "directory bitmask supports up to {max_cores} cores (configured: {num_cores})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineConfigError {}
+
 /// The simulated multicore machine.
 ///
 /// Every data access of a runtime goes through [`Machine::access`], naming
@@ -61,13 +88,33 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails [`SystemConfig::validate`].
+    /// Panics if the configuration fails [`SystemConfig::validate`] or
+    /// [`Machine::try_new`] rejects it.
     pub fn new(cfg: SystemConfig, map: AddressMap) -> Self {
+        Machine::try_new(cfg, map).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the machine, returning a typed [`MachineConfigError`] for
+    /// configurations the model structurally cannot simulate (today: more
+    /// cores than the sharer directory's `u32` bitmask can track).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SystemConfig::validate`]
+    /// (degenerate cache geometry, undersized mesh, zero counts) — those
+    /// are programming errors, not runtime inputs.
+    pub fn try_new(cfg: SystemConfig, map: AddressMap) -> Result<Self, MachineConfigError> {
         cfg.validate();
-        assert!(cfg.num_cores <= 32, "directory bitmask supports up to 32 cores");
+        const MAX_DIRECTORY_CORES: usize = u32::BITS as usize;
+        if cfg.num_cores > MAX_DIRECTORY_CORES {
+            return Err(MachineConfigError::TooManyCores {
+                num_cores: cfg.num_cores,
+                max_cores: MAX_DIRECTORY_CORES,
+            });
+        }
         let mut bank_cfg = cfg.l3;
         bank_cfg.size_bytes /= cfg.l3_banks;
-        Machine {
+        Ok(Machine {
             l1: (0..cfg.num_cores).map(|_| Cache::new(&cfg.l1, cfg.line_bytes)).collect(),
             l2: (0..cfg.num_cores).map(|_| Cache::new(&cfg.l2, cfg.line_bytes)).collect(),
             l3_banks: (0..cfg.l3_banks).map(|_| Cache::new(&bank_cfg, cfg.line_bytes)).collect(),
@@ -77,7 +124,7 @@ impl Machine {
             directory: HashMap::new(),
             cfg,
             map,
-        }
+        })
     }
 
     /// The machine configuration.
@@ -415,5 +462,37 @@ mod tests {
     fn bad_core_panics() {
         let mut m = machine(2);
         m.access(5, Region::VertexValue, 0, AccessKind::Read, Level::L1, 0);
+    }
+
+    #[test]
+    fn too_many_cores_is_a_typed_error() {
+        let mut cfg = SystemConfig::scaled(32);
+        cfg.num_cores = 33;
+        cfg.noc.width = 6;
+        cfg.noc.height = 6;
+        let map = AddressMap::new(cfg.line_bytes);
+        match Machine::try_new(cfg, map) {
+            Err(MachineConfigError::TooManyCores { num_cores: 33, max_cores: 32 }) => {}
+            other => panic!("expected TooManyCores, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "directory bitmask supports up to 32 cores")]
+    fn too_many_cores_panics_on_infallible_construction() {
+        let mut cfg = SystemConfig::scaled(32);
+        cfg.num_cores = 33;
+        cfg.noc.width = 6;
+        cfg.noc.height = 6;
+        let _ = Machine::new(cfg, AddressMap::new(cfg.line_bytes));
+    }
+
+    #[test]
+    fn thirty_two_cores_is_accepted() {
+        let mut cfg = SystemConfig::scaled(32);
+        cfg.noc.width = 6;
+        cfg.noc.height = 6;
+        let map = AddressMap::new(cfg.line_bytes);
+        assert!(Machine::try_new(cfg, map).is_ok());
     }
 }

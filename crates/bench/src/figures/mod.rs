@@ -52,7 +52,7 @@ use chgraph::{
     ChGraphRuntime, ExecutionReport, GlaRuntime, HatsVRuntime, HygraRuntime, PrefetcherRuntime,
     PreparedOags, RunConfig, Runtime,
 };
-use hyperalgos::{run_workload_prepared, Workload};
+use hyperalgos::{run_workload_prepared, self_check_prepared, Workload};
 use hypergraph::datasets::Dataset;
 use hypergraph::{Hypergraph, Side};
 use std::collections::{HashMap, HashSet};
@@ -202,6 +202,7 @@ pub struct Harness {
     /// Run configuration used for every memoized execution.
     pub cfg: RunConfig,
     threads: usize,
+    self_check: bool,
     cache: Option<Arc<PreprocessCache>>,
     graphs: Mutex<HashMap<Dataset, Slot<Arc<Hypergraph>>>>,
     prepared: Mutex<HashMap<Dataset, Slot<Arc<PreparedOags>>>>,
@@ -242,6 +243,7 @@ impl Harness {
             scale,
             cfg,
             threads: 1,
+            self_check: false,
             cache: None,
             graphs: Mutex::new(HashMap::new()),
             prepared: Mutex::new(HashMap::new()),
@@ -259,6 +261,17 @@ impl Harness {
     #[cfg(any(test, feature = "fault-injection"))]
     pub fn with_fault_hook(mut self, hook: impl Fn(Job) + Send + Sync + 'static) -> Self {
         self.fault_hook = Some(Arc::new(hook));
+        self
+    }
+
+    /// Enables differential self-checking: every execution is diffed
+    /// against the naive reference implementation
+    /// ([`hyperalgos::self_check`]), and a divergence fails the cell.
+    /// Reports are bit-identical either way; a failing cell surfaces as a
+    /// [`CellError`] through the usual fault-isolation machinery (retried
+    /// once, recorded in the [`GridOutcome`]) instead of aborting the grid.
+    pub fn with_self_check(mut self, on: bool) -> Self {
+        self.self_check = on;
         self
     }
 
@@ -387,7 +400,29 @@ impl Harness {
         let g = self.graph(ds);
         let prepared = sys.uses_oags().then(|| self.prepared(ds));
         let runtime = sys.runtime();
-        run_workload_prepared(workload, runtime.as_ref(), &g, &self.cfg, prepared.as_deref())
+        self.execute(workload, runtime.as_ref(), &g, &self.cfg, prepared.as_deref())
+    }
+
+    /// Runs one execution, self-checked when the harness asks for it. A
+    /// self-check failure (divergence, budget trip, validation error)
+    /// panics with the typed error's message so the surrounding
+    /// `catch_unwind` layers convert it into a [`CellError`].
+    fn execute(
+        &self,
+        workload: Workload,
+        runtime: &dyn Runtime,
+        g: &Hypergraph,
+        cfg: &RunConfig,
+        prepared: Option<&PreparedOags>,
+    ) -> ExecutionReport {
+        if self.self_check {
+            match self_check_prepared(workload, runtime, g, cfg, prepared) {
+                Ok(checked) => checked.report,
+                Err(e) => panic!("self-check failed: {e}"),
+            }
+        } else {
+            run_workload_prepared(workload, runtime, g, cfg, prepared)
+        }
     }
 
     /// Records a post-retry cell failure (deduplicated by job, since the
@@ -449,7 +484,7 @@ impl Harness {
     ) -> ExecutionReport {
         let g = self.graph(ds);
         let prepared = (sys.uses_oags() && cfg.oag == self.cfg.oag).then(|| self.prepared(ds));
-        run_workload_prepared(workload, sys.runtime().as_ref(), &g, cfg, prepared.as_deref())
+        self.execute(workload, sys.runtime().as_ref(), &g, cfg, prepared.as_deref())
     }
 
     /// Runs a batch of independent explicit-configuration jobs across the
@@ -678,6 +713,38 @@ mod tests {
         let recovered = h.try_report(bad.0, bad.1, bad.2).expect("fault cleared");
         let clean = Harness::new(Scale(0.05));
         assert_eq!(*recovered, *clean.report(bad.0, bad.1, bad.2));
+    }
+
+    #[test]
+    fn self_checked_reports_are_bit_identical_to_unchecked() {
+        let plain = Harness::new(Scale(0.05));
+        let checked = Harness::new(Scale(0.05)).with_self_check(true);
+        for (w, sys) in [(Workload::Cc, System::Hygra), (Workload::Bfs, System::ChGraph)] {
+            assert_eq!(
+                *plain.report(Dataset::LiveJournal, w, sys),
+                *checked.report(Dataset::LiveJournal, w, sys),
+                "{w:?}/{sys:?}: self-checking must not change the report"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_trips_become_cell_errors_not_grid_aborts() {
+        // A one-cycle budget trips the watchdog in every cell; the grid
+        // must finish with structured per-cell errors rather than unwind.
+        let cfg = RunConfig::new().with_max_cycles(1);
+        let h = Harness::with_config(Scale(0.05), cfg).with_self_check(true);
+        let jobs = grid(&[Workload::Cc, Workload::Bfs], &[Dataset::LiveJournal], &[System::Hygra]);
+        let outcome = h.prefetch(jobs.iter().copied());
+        assert_eq!(outcome.completed, 0);
+        assert_eq!(outcome.failed.len(), jobs.len());
+        for f in &outcome.failed {
+            assert!(
+                f.message.contains("cycle budget exceeded"),
+                "cell error must carry the typed watchdog message: {}",
+                f.message
+            );
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 pub mod reorder;
 
 use crate::exec::{Driver, ExecMode};
+use crate::guard::ExecError;
 use crate::{preprocess, Algorithm, ExecutionReport, RunConfig, Runtime};
 use hypergraph::Hypergraph;
 
@@ -25,9 +26,14 @@ impl Runtime for HatsVRuntime {
         "hats-v"
     }
 
-    fn execute(&self, g: &Hypergraph, algo: &dyn Algorithm, cfg: &RunConfig) -> ExecutionReport {
-        let out = Driver::new(g, algo, cfg, ExecMode::HatsTraversal, None, None).run();
-        ExecutionReport {
+    fn try_execute(
+        &self,
+        g: &Hypergraph,
+        algo: &dyn Algorithm,
+        cfg: &RunConfig,
+    ) -> Result<ExecutionReport, ExecError> {
+        let out = Driver::try_new(g, algo, cfg, ExecMode::HatsTraversal, None, None)?.try_run()?;
+        Ok(ExecutionReport {
             runtime: self.name(),
             algorithm: algo.name(),
             iterations: out.iterations,
@@ -38,7 +44,7 @@ impl Runtime for HatsVRuntime {
             state: out.state,
             engine: Some(out.engine),
             preprocess: preprocess::report_plain(g),
-        }
+        })
     }
 }
 
@@ -58,9 +64,15 @@ impl Runtime for PrefetcherRuntime {
         "prefetcher"
     }
 
-    fn execute(&self, g: &Hypergraph, algo: &dyn Algorithm, cfg: &RunConfig) -> ExecutionReport {
-        let out = Driver::new(g, algo, cfg, ExecMode::IndexOrderedPrefetch, None, None).run();
-        ExecutionReport {
+    fn try_execute(
+        &self,
+        g: &Hypergraph,
+        algo: &dyn Algorithm,
+        cfg: &RunConfig,
+    ) -> Result<ExecutionReport, ExecError> {
+        let out =
+            Driver::try_new(g, algo, cfg, ExecMode::IndexOrderedPrefetch, None, None)?.try_run()?;
+        Ok(ExecutionReport {
             runtime: self.name(),
             algorithm: algo.name(),
             iterations: out.iterations,
@@ -71,7 +83,7 @@ impl Runtime for PrefetcherRuntime {
             state: out.state,
             engine: Some(out.engine),
             preprocess: preprocess::report_plain(g),
-        }
+        })
     }
 }
 

@@ -11,6 +11,7 @@
 //! coupling.
 
 use crate::engine::Fifo;
+use crate::guard::{Budget, ExecError, ExecProgress};
 use hypergraph::{Hypergraph, Side};
 
 /// Memory latencies (in engine cycles) seen by the CP's stages.
@@ -61,11 +62,15 @@ pub struct CpModel {
     pub fifo_capacity: usize,
     /// Stage latencies.
     pub latencies: CpLatencies,
+    /// Optional engine-cycle budget: [`CpModel::try_run`] aborts with a
+    /// typed [`ExecError::BudgetExceeded`] once the model clock passes it.
+    /// `None` (the default) never trips.
+    pub cycle_budget: Option<u64>,
 }
 
 impl Default for CpModel {
     fn default() -> Self {
-        CpModel { fifo_capacity: 32, latencies: CpLatencies::default() }
+        CpModel { fifo_capacity: 32, latencies: CpLatencies::default(), cycle_budget: None }
     }
 }
 
@@ -77,7 +82,8 @@ impl CpModel {
     ///
     /// # Panics
     ///
-    /// Panics if `emit_times.len() != schedule.len()`.
+    /// Panics if `emit_times.len() != schedule.len()`, or if a configured
+    /// [`CpModel::cycle_budget`] is exhausted.
     pub fn run(
         &self,
         g: &Hypergraph,
@@ -86,6 +92,25 @@ impl CpModel {
         emit_times: &[u64],
         core_period: u64,
     ) -> CpRun {
+        self.try_run(g, side, schedule, emit_times, core_period).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`CpModel::run`], but converts an exhausted
+    /// [`CpModel::cycle_budget`] into a typed
+    /// [`ExecError::BudgetExceeded`] whose progress snapshot counts the
+    /// tuples delivered before the stall.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `emit_times.len() != schedule.len()`.
+    pub fn try_run(
+        &self,
+        g: &Hypergraph,
+        side: Side,
+        schedule: &[u32],
+        emit_times: &[u64],
+        core_period: u64,
+    ) -> Result<CpRun, ExecError> {
         assert_eq!(schedule.len(), emit_times.len(), "one emit time per scheduled element");
         let lat = self.latencies;
         let mut fifo: Fifo<()> = Fifo::new(self.fifo_capacity);
@@ -102,6 +127,21 @@ impl CpModel {
                 *next_core_pop += core_period.max(1);
             }
         };
+        let check_budget =
+            |cycle: u64, delivered: usize, pending: usize| -> Result<(), ExecError> {
+                match self.cycle_budget {
+                    Some(max) if cycle > max => Err(ExecError::BudgetExceeded {
+                        phase: "chain-driven prefetch",
+                        budget: Budget::Cycles,
+                        progress: ExecProgress {
+                            iterations: delivered,
+                            cycles: cycle,
+                            frontier_len: pending,
+                        },
+                    }),
+                    _ => Ok(()),
+                }
+            };
 
         for (&e, &emitted) in schedule.iter().zip(emit_times) {
             // Element acquisition: wait for the HCG's emission.
@@ -122,18 +162,20 @@ impl CpModel {
                     let stall = next_core_pop.saturating_sub(cycle).max(1);
                     cycle += stall;
                     full_stalls += stall;
+                    check_budget(cycle, tuples.len(), fifo.len())?;
                     drain(&mut fifo, cycle, &mut next_core_pop);
                 }
                 next_core_pop = next_core_pop.max(cycle);
                 tuples.push(Tuple { src: e, dst: d, ready_at: cycle });
             }
+            check_budget(cycle, tuples.len(), fifo.len())?;
         }
-        CpRun {
+        Ok(CpRun {
             tuples,
             cycles: cycle,
             chain_fifo_empty_stalls: empty_stalls,
             edge_fifo_full_stalls: full_stalls,
-        }
+        })
     }
 }
 
@@ -206,6 +248,37 @@ mod tests {
         let late: Vec<u64> = hcg.emit_times.iter().map(|t| t * 1_000).collect();
         let cp = CpModel::default().run(&g, Side::Hyperedge, hcg.chains.schedule(), &late, 1);
         assert!(cp.chain_fifo_empty_stalls > 0);
+    }
+
+    #[test]
+    fn cycle_budget_converts_slow_runs_into_typed_errors() {
+        let (g, hcg) = setup();
+        let unbounded = CpModel::default().run(
+            &g,
+            Side::Hyperedge,
+            hcg.chains.schedule(),
+            &hcg.emit_times,
+            500,
+        );
+        let mut model = CpModel::default();
+        model.cycle_budget = Some(unbounded.cycles / 2);
+        let err = model
+            .try_run(&g, Side::Hyperedge, hcg.chains.schedule(), &hcg.emit_times, 500)
+            .unwrap_err();
+        match err {
+            crate::guard::ExecError::BudgetExceeded {
+                phase: "chain-driven prefetch",
+                budget: crate::guard::Budget::Cycles,
+                progress,
+            } => {
+                assert!(progress.iterations < unbounded.tuples.len(), "must have stopped early");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        model.cycle_budget = Some(unbounded.cycles + 1);
+        assert!(model
+            .try_run(&g, Side::Hyperedge, hcg.chains.schedule(), &hcg.emit_times, 500)
+            .is_ok());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! [`oag::generate_chains`] together with per-element emission times.
 
 use crate::engine::Fifo;
+use crate::guard::{Budget, ExecError, ExecProgress};
 use hypergraph::Frontier;
 use oag::{ChainSet, Oag};
 use std::ops::Range;
@@ -60,11 +61,21 @@ pub struct HcgModel {
     pub fifo_capacity: usize,
     /// Stage memory latencies.
     pub latencies: HcgLatencies,
+    /// Optional engine-cycle budget: [`HcgModel::try_run`] aborts with a
+    /// typed [`ExecError::BudgetExceeded`] once the model clock passes it —
+    /// the guard that turns a consumer deadlock (FIFO stalled forever) into
+    /// a reportable failure. `None` (the default) never trips.
+    pub cycle_budget: Option<u64>,
 }
 
 impl Default for HcgModel {
     fn default() -> Self {
-        HcgModel { stack_depth: 16, fifo_capacity: 32, latencies: HcgLatencies::default() }
+        HcgModel {
+            stack_depth: 16,
+            fifo_capacity: 32,
+            latencies: HcgLatencies::default(),
+            cycle_budget: None,
+        }
     }
 }
 
@@ -77,7 +88,8 @@ impl HcgModel {
     /// # Panics
     ///
     /// Panics if `range` exceeds the OAG or the frontier universe is too
-    /// small (same contract as [`oag::generate_chains`]).
+    /// small (same contract as [`oag::generate_chains`]), or if a
+    /// configured [`HcgModel::cycle_budget`] is exhausted.
     pub fn run(
         &self,
         oag: &Oag,
@@ -85,6 +97,20 @@ impl HcgModel {
         range: Range<u32>,
         consumer_period: u64,
     ) -> HcgRun {
+        self.try_run(oag, frontier, range, consumer_period).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`HcgModel::run`], but converts an exhausted
+    /// [`HcgModel::cycle_budget`] into a typed
+    /// [`ExecError::BudgetExceeded`] whose progress snapshot counts the
+    /// elements emitted before the stall.
+    pub fn try_run(
+        &self,
+        oag: &Oag,
+        frontier: &Frontier,
+        range: Range<u32>,
+        consumer_period: u64,
+    ) -> Result<HcgRun, ExecError> {
         let chain_cfg = oag::ChainConfig::new(self.stack_depth);
         // The schedule itself is pure; the model adds timing around it.
         let chains = oag::generate_chains(oag, frontier, range.clone(), &chain_cfg);
@@ -106,6 +132,20 @@ impl HcgModel {
             while *next_consume <= cycle && !fifo.is_empty() {
                 fifo.try_pop();
                 *next_consume += consumer_period.max(1);
+            }
+        };
+        let check_budget = |cycle: u64, emitted: usize| -> Result<(), ExecError> {
+            match self.cycle_budget {
+                Some(max) if cycle > max => Err(ExecError::BudgetExceeded {
+                    phase: "hardware chain generation",
+                    budget: Budget::Cycles,
+                    progress: ExecProgress {
+                        iterations: emitted,
+                        cycles: cycle,
+                        frontier_len: frontier.len(),
+                    },
+                }),
+                _ => Ok(()),
             }
         };
 
@@ -135,6 +175,7 @@ impl HcgModel {
                     let stall = next_consume.saturating_sub(cycle).max(1);
                     cycle += stall;
                     full_stalls += stall;
+                    check_budget(cycle, emit_times.len())?;
                     drain(&mut fifo, cycle, &mut next_consume);
                 }
                 emit_times.push(cycle);
@@ -167,15 +208,16 @@ impl HcgModel {
             }
             // Stack pop / NEWCHAIN boundary.
             cycle += 1;
+            check_budget(cycle.max(scanner_cycle), emit_times.len())?;
         }
         debug_assert_eq!(emit_times.len(), chains.num_elements());
-        HcgRun {
+        Ok(HcgRun {
             fifo_peak: fifo.peak_occupancy,
             chains,
             emit_times,
             cycles: cycle.max(scanner_cycle),
             fifo_full_stall_cycles: full_stalls,
-        }
+        })
     }
 }
 
@@ -237,6 +279,30 @@ mod tests {
             (2.0..40.0).contains(&per_element),
             "per-element HCG cost {per_element:.1} cycles is out of the calibrated regime"
         );
+    }
+
+    #[test]
+    fn cycle_budget_converts_slow_runs_into_typed_errors() {
+        let (oag, frontier, n) = oag_and_frontier();
+        let unbounded = HcgModel::default().run(&oag, &frontier, 0..n, 200);
+        let mut model = HcgModel::default();
+        // A budget below the known total must trip, with partial progress.
+        model.cycle_budget = Some(unbounded.cycles / 2);
+        let err = model.try_run(&oag, &frontier, 0..n, 200).unwrap_err();
+        match err {
+            crate::guard::ExecError::BudgetExceeded {
+                phase: "hardware chain generation",
+                budget: crate::guard::Budget::Cycles,
+                progress,
+            } => {
+                assert!(progress.cycles > unbounded.cycles / 2);
+                assert!(progress.iterations < n as usize, "must have stopped early");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // A budget above the total must not trip.
+        model.cycle_budget = Some(unbounded.cycles + 1);
+        assert!(model.try_run(&oag, &frontier, 0..n, 200).is_ok());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! FIFO capacity ahead of the core (back-pressure). Phases end with a
 //! barrier across all timers.
 
+use crate::guard::{ExecError, ExecProgress, Watchdog};
 use crate::layout::{bitmap_word, layout_for};
 use crate::{Algorithm, EngineReport, RunConfig, State};
 use archsim::{AccessKind, CoreTimer, Level, Machine, Region};
@@ -161,9 +162,18 @@ pub(crate) struct Driver<'a> {
     engine: EngineReport,
     total_cycles: u64,
     core_busy: u64,
+    watchdog: Watchdog,
+    /// Iterations completed so far (for watchdog progress snapshots).
+    iterations_done: usize,
 }
 
 impl<'a> Driver<'a> {
+    /// Infallible construction; see [`Driver::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system configuration cannot be simulated.
+    #[cfg(test)]
     pub(crate) fn new(
         g: &'a Hypergraph,
         algo: &'a dyn Algorithm,
@@ -172,12 +182,24 @@ impl<'a> Driver<'a> {
         h_oag: Option<&'a Oag>,
         v_oag: Option<&'a Oag>,
     ) -> Self {
+        Driver::try_new(g, algo, cfg, mode, h_oag, v_oag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    pub(crate) fn try_new(
+        g: &'a Hypergraph,
+        algo: &'a dyn Algorithm,
+        cfg: &'a RunConfig,
+        mode: ExecMode,
+        h_oag: Option<&'a Oag>,
+        v_oag: Option<&'a Oag>,
+    ) -> Result<Self, ExecError> {
         let n = cfg.system.num_cores;
         let map = layout_for(g, h_oag, v_oag, cfg.system.line_bytes);
-        let machine = Machine::new(cfg.system, map);
+        let machine = Machine::try_new(cfg.system, map)
+            .map_err(|e| ExecError::InvalidConfig(e.to_string()))?;
         let core_mlp = cfg.system.mlp;
         let (state, _) = algo.init(g);
-        Driver {
+        Ok(Driver {
             g,
             algo,
             cfg,
@@ -195,7 +217,9 @@ impl<'a> Driver<'a> {
             engine: EngineReport::default(),
             total_cycles: 0,
             core_busy: 0,
-        }
+            watchdog: Watchdog::new(cfg.watchdog),
+            iterations_done: 0,
+        })
     }
 
     fn oag_for(&self, src: Side) -> Option<&'a Oag> {
@@ -212,8 +236,34 @@ impl<'a> Driver<'a> {
         }
     }
 
-    /// Runs the full iterative procedure.
-    pub(crate) fn run(mut self) -> DriverOutput {
+    /// Infallible execution; see [`Driver::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ExecError`] message if a guardrail trips.
+    #[cfg(test)]
+    pub(crate) fn run(self) -> DriverOutput {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validates the execution inputs — the hypergraph's bipartite CSRs and
+    /// any OAG the mode will walk — before the first simulated cycle.
+    fn validate_inputs(&self) -> Result<(), ExecError> {
+        self.g.validate()?;
+        for oag in [self.h_oag, self.v_oag].into_iter().flatten() {
+            oag.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Runs the full iterative procedure. Returns a typed [`ExecError`]
+    /// when a watchdog budget is exhausted (carrying partial statistics) or
+    /// when deep validation (`cfg.validate`) rejects an input structure or
+    /// a generated chain schedule.
+    pub(crate) fn try_run(mut self) -> Result<DriverOutput, ExecError> {
+        if self.cfg.validate {
+            self.validate_inputs()?;
+        }
         let max_iter = self.cfg.max_iterations.unwrap_or_else(|| self.algo.max_iterations());
         let (state, frontier0) = self.algo.init(self.g);
         self.state = state;
@@ -223,23 +273,32 @@ impl<'a> Driver<'a> {
         let mut iterations = 0usize;
         while iterations < max_iter && !frontier_v.is_empty() {
             self.algo.begin_iteration(self.g, &mut self.state, iterations);
-            let frontier_e = self.run_phase(Side::Vertex, &frontier_v);
+            let frontier_e = self.run_phase(Side::Vertex, &frontier_v)?;
             let frontier_e =
                 if all_active { Frontier::full(self.g.num_hyperedges()) } else { frontier_e };
             let mut fv = if frontier_e.is_empty() {
                 Frontier::empty(self.g.num_vertices())
             } else {
                 self.algo.begin_vertex_phase(self.g, &mut self.state, iterations);
-                self.run_phase(Side::Hyperedge, &frontier_e)
+                self.run_phase(Side::Hyperedge, &frontier_e)?
             };
             // end_iteration runs even when the hyperedge frontier was empty:
             // multi-round algorithms (e.g. core decomposition) reseed here.
             self.algo.end_iteration(self.g, &mut self.state, &mut fv, iterations);
             frontier_v = if all_active { Frontier::full(self.g.num_vertices()) } else { fv };
             iterations += 1;
+            self.iterations_done = iterations;
+            self.watchdog.observe_iteration(
+                "iteration",
+                ExecProgress {
+                    iterations,
+                    cycles: self.total_cycles,
+                    frontier_len: frontier_v.len(),
+                },
+            )?;
         }
         let mem_stall = self.cores.iter().map(CoreTimer::mem_stall_cycles).sum();
-        DriverOutput {
+        Ok(DriverOutput {
             state: self.state,
             iterations,
             cycles: self.total_cycles,
@@ -247,13 +306,17 @@ impl<'a> Driver<'a> {
             mem_stall_cycles: mem_stall,
             mem: self.machine.stats().clone(),
             engine: self.engine,
-        }
+        })
     }
 
     /// Executes one computation phase (hyperedge computation when
     /// `src == Vertex`, vertex computation when `src == Hyperedge`),
     /// returning the next frontier of the destination side.
-    fn run_phase(&mut self, src: Side, frontier: &Frontier) -> Frontier {
+    fn run_phase(&mut self, src: Side, frontier: &Frontier) -> Result<Frontier, ExecError> {
+        let phase = match src {
+            Side::Vertex => "hyperedge computation",
+            Side::Hyperedge => "vertex computation",
+        };
         let phase_start = self.cores[0].now();
         let n_cores = self.cfg.system.num_cores;
         let num_dst = self.g.num_on(src.opposite());
@@ -261,7 +324,7 @@ impl<'a> Driver<'a> {
 
         let hcg_start: Vec<u64> = self.hcg.iter().map(CoreTimer::now).collect();
         let cp_start: Vec<u64> = self.cp.iter().map(CoreTimer::now).collect();
-        let schedules = self.make_schedules(src, frontier);
+        let schedules = self.make_schedules(src, frontier, phase)?;
 
         // Ring buffers implementing the bipartite-edge FIFO back-pressure.
         let mut tuple_ring: Vec<VecDeque<u64>> =
@@ -362,7 +425,15 @@ impl<'a> Driver<'a> {
             self.cp[core].sync_to(max_now);
         }
         self.total_cycles += max_now - phase_start;
-        next
+        self.watchdog.check_cycles(
+            phase,
+            ExecProgress {
+                iterations: self.iterations_done,
+                cycles: self.total_cycles,
+                frontier_len: frontier.len(),
+            },
+        )?;
+        Ok(next)
     }
 
     /// Core-side processing of one element: read offsets, stream the
@@ -524,7 +595,12 @@ impl<'a> Driver<'a> {
     // Schedule generation
     // ------------------------------------------------------------------
 
-    fn make_schedules(&mut self, src: Side, frontier: &Frontier) -> Vec<CoreSchedule> {
+    fn make_schedules(
+        &mut self,
+        src: Side,
+        frontier: &Frontier,
+        phase: &'static str,
+    ) -> Result<Vec<CoreSchedule>, ExecError> {
         let side_idx = match src {
             Side::Vertex => 0,
             Side::Hyperedge => 1,
@@ -533,7 +609,7 @@ impl<'a> Driver<'a> {
             && !matches!(self.mode, ExecMode::IndexOrdered | ExecMode::IndexOrderedPrefetch);
         if reusable {
             if let Some(cached) = self.schedule_cache[side_idx].clone() {
-                return self.replay_cached(cached);
+                return Ok(self.replay_cached(cached));
             }
         }
         // Sparse-phase fallback: when too few elements are active, overlap
@@ -558,15 +634,17 @@ impl<'a> Driver<'a> {
                 ExecMode::IndexOrdered | ExecMode::IndexOrderedPrefetch => {
                     self.index_schedules(src, frontier)
                 }
-                ExecMode::SoftwareChains => self.software_chain_schedules(src, frontier),
-                ExecMode::HardwareChains { .. } => self.hardware_chain_schedules(src, frontier),
+                ExecMode::SoftwareChains => self.software_chain_schedules(src, frontier, phase)?,
+                ExecMode::HardwareChains { .. } => {
+                    self.hardware_chain_schedules(src, frontier, phase)?
+                }
                 ExecMode::HatsTraversal => self.hats_schedules(src, frontier),
             }
         };
         if reusable {
             self.schedule_cache[side_idx] = Some(schedules.clone());
         }
-        schedules
+        Ok(schedules)
     }
 
     /// All-active reuse: the schedule was generated in iteration 0 and is
@@ -632,7 +710,12 @@ impl<'a> Driver<'a> {
     /// Software GLA: Algorithm 3 runs on the core, paying full memory and
     /// compute cost for every micro-step — the overhead that makes the
     /// software solution slower than Hygra (Fig. 3).
-    fn software_chain_schedules(&mut self, src: Side, frontier: &Frontier) -> Vec<CoreSchedule> {
+    fn software_chain_schedules(
+        &mut self,
+        src: Side,
+        frontier: &Frontier,
+        phase: &'static str,
+    ) -> Result<Vec<CoreSchedule>, ExecError> {
         // invariant: the runtime constructs both OAGs before entering a
         // chain mode; only an internal dispatch bug could reach here
         // without one.
@@ -640,6 +723,7 @@ impl<'a> Driver<'a> {
         let pr = phase_regions(src);
         let chunks = self.chunks_for(src).to_vec();
         let g = self.g;
+        let deep_validate = self.cfg.validate;
         chunks
             .iter()
             .enumerate()
@@ -718,9 +802,14 @@ impl<'a> Driver<'a> {
                     &self.cfg.chain,
                     &mut obs,
                 );
+                if deep_validate {
+                    chains
+                        .validate_cover(frontier, chunk.first..chunk.last)
+                        .map_err(|source| ExecError::InvalidChainCover { phase, source })?;
+                }
                 let elements = chains.schedule().to_vec();
                 let emit_time = vec![0u64; elements.len()];
-                CoreSchedule { elements, emit_time, chains: chains.num_chains() as u64 }
+                Ok(CoreSchedule { elements, emit_time, chains: chains.num_chains() as u64 })
             })
             .collect()
     }
@@ -729,13 +818,19 @@ impl<'a> Driver<'a> {
     /// pipeline action per cycle; OAG edges are examined a cacheline at a
     /// time; accesses enter at the L2 with deep decoupled overlap. Selected
     /// elements are marked inactive in the bitmap by the hardware.
-    fn hardware_chain_schedules(&mut self, src: Side, frontier: &Frontier) -> Vec<CoreSchedule> {
+    fn hardware_chain_schedules(
+        &mut self,
+        src: Side,
+        frontier: &Frontier,
+        phase: &'static str,
+    ) -> Result<Vec<CoreSchedule>, ExecError> {
         // invariant: see software_chain_schedules — OAGs exist before any
         // chain mode runs.
         let oag = self.oag_for(src).expect("chain modes require an OAG");
         let pr = phase_regions(src);
         let chunks = self.chunks_for(src).to_vec();
         let g = self.g;
+        let deep_validate = self.cfg.validate;
         chunks
             .iter()
             .enumerate()
@@ -816,10 +911,15 @@ impl<'a> Driver<'a> {
                     &self.cfg.chain,
                     &mut obs,
                 );
+                if deep_validate {
+                    chains
+                        .validate_cover(frontier, chunk.first..chunk.last)
+                        .map_err(|source| ExecError::InvalidChainCover { phase, source })?;
+                }
                 let elements = chains.schedule().to_vec();
                 let emit_time = obs.emit_time;
                 debug_assert_eq!(emit_time.len(), elements.len());
-                CoreSchedule { elements, emit_time, chains: chains.num_chains() as u64 }
+                Ok(CoreSchedule { elements, emit_time, chains: chains.num_chains() as u64 })
             })
             .collect()
     }

@@ -42,6 +42,7 @@ mod algorithm;
 pub mod baseline;
 pub mod engine;
 mod exec;
+pub mod guard;
 pub mod layout;
 pub mod preprocess;
 mod report;
@@ -52,6 +53,7 @@ mod testutil;
 
 pub use algorithm::{Algorithm, MinLabel, State, UpdateOutcome};
 pub use baseline::{HatsVRuntime, PrefetcherRuntime};
+pub use guard::{Budget, ExecError, ExecProgress, Watchdog, WatchdogConfig};
 pub use report::{EngineReport, ExecutionReport, PreprocessReport};
 pub use runtime::{RunConfig, Runtime};
 pub use runtimes::{ChGraphRuntime, GlaRuntime, HygraRuntime, PreparedOags};

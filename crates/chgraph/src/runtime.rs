@@ -1,5 +1,6 @@
 //! The runtime abstraction and its configuration.
 
+use crate::guard::{ExecError, WatchdogConfig};
 use crate::{Algorithm, ExecutionReport};
 use archsim::SystemConfig;
 use hypergraph::Hypergraph;
@@ -39,6 +40,17 @@ pub struct RunConfig {
     /// bit-identical for any value — see
     /// [`OagConfig::build_with_stats_threads`](oag::OagConfig::build_with_stats_threads).
     pub oag_build_threads: usize,
+    /// Execution watchdog budgets (cycles, wall clock, frontier stalls).
+    /// The default has no budgets, so nothing ever trips; budgets convert
+    /// runaway executions into typed
+    /// [`ExecError::BudgetExceeded`](crate::ExecError::BudgetExceeded)
+    /// failures with partial statistics.
+    pub watchdog: WatchdogConfig,
+    /// Deep structural checking: validate the hypergraph and both OAGs
+    /// before execution, and prove every generated chain schedule covers
+    /// the active set exactly once (§IV reordering invariant) before
+    /// consuming it. Costs a full pass per schedule; off by default.
+    pub validate: bool,
 }
 
 impl RunConfig {
@@ -56,6 +68,8 @@ impl RunConfig {
             prefetcher_noise_pct: 20,
             sparse_chain_divisor: 12,
             oag_build_threads: 1,
+            watchdog: WatchdogConfig::default(),
+            validate: false,
         }
     }
 
@@ -89,6 +103,25 @@ impl RunConfig {
         self.oag_build_threads = threads.max(1);
         self
     }
+
+    /// Replaces the watchdog budgets.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Caps simulated cycles (shorthand for a cycle-only watchdog budget).
+    pub fn with_max_cycles(mut self, cycles: u64) -> Self {
+        self.watchdog.max_cycles = Some(cycles);
+        self
+    }
+
+    /// Enables or disables deep structural validation (see
+    /// [`RunConfig::validate`]).
+    pub fn with_validate(mut self, validate: bool) -> Self {
+        self.validate = validate;
+        self
+    }
 }
 
 impl Default for RunConfig {
@@ -104,17 +137,54 @@ pub trait Runtime {
     fn name(&self) -> &'static str;
 
     /// Executes `algo` on `g` under this runtime, returning the full report
-    /// (final state, cycles, memory statistics, preprocessing accounting).
-    fn execute(&self, g: &Hypergraph, algo: &dyn Algorithm, cfg: &RunConfig) -> ExecutionReport;
+    /// (final state, cycles, memory statistics, preprocessing accounting) —
+    /// or a typed [`ExecError`] when a watchdog budget is exhausted, a
+    /// structural validation fails, or the configuration cannot be
+    /// simulated.
+    fn try_execute(
+        &self,
+        g: &Hypergraph,
+        algo: &dyn Algorithm,
+        cfg: &RunConfig,
+    ) -> Result<ExecutionReport, ExecError>;
 
-    /// Like [`execute`](Runtime::execute), but may reuse pre-built OAG
-    /// artifacts instead of rebuilding them per execution.
+    /// Like [`try_execute`](Runtime::try_execute), but may reuse pre-built
+    /// OAG artifacts instead of rebuilding them per execution.
     ///
     /// The contract is strict: the report must be **bit-identical** to
-    /// `execute(g, algo, cfg)`. Implementations must therefore verify that
-    /// `prepared` matches `cfg.oag` (and rebuild if it does not), and the
-    /// default implementation simply ignores `prepared` — correct for
+    /// `try_execute(g, algo, cfg)`. Implementations must therefore verify
+    /// that `prepared` matches `cfg.oag` (and rebuild if it does not), and
+    /// the default implementation simply ignores `prepared` — correct for
     /// runtimes that never build OAGs.
+    fn try_execute_prepared(
+        &self,
+        g: &Hypergraph,
+        algo: &dyn Algorithm,
+        cfg: &RunConfig,
+        prepared: Option<&crate::PreparedOags>,
+    ) -> Result<ExecutionReport, ExecError> {
+        let _ = prepared;
+        self.try_execute(g, algo, cfg)
+    }
+
+    /// Infallible convenience wrapper over
+    /// [`try_execute`](Runtime::try_execute).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ExecError`] message if the execution fails; with a
+    /// default [`RunConfig`] (no budgets, no deep validation) failures only
+    /// arise from untrusted inputs or unsimulatable configurations.
+    fn execute(&self, g: &Hypergraph, algo: &dyn Algorithm, cfg: &RunConfig) -> ExecutionReport {
+        self.try_execute(g, algo, cfg).unwrap_or_else(|e| panic!("{}: {e}", self.name()))
+    }
+
+    /// Infallible convenience wrapper over
+    /// [`try_execute_prepared`](Runtime::try_execute_prepared).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ExecError`] message if the execution fails.
     fn execute_prepared(
         &self,
         g: &Hypergraph,
@@ -122,8 +192,8 @@ pub trait Runtime {
         cfg: &RunConfig,
         prepared: Option<&crate::PreparedOags>,
     ) -> ExecutionReport {
-        let _ = prepared;
-        self.execute(g, algo, cfg)
+        self.try_execute_prepared(g, algo, cfg, prepared)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name()))
     }
 }
 

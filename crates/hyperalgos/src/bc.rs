@@ -13,7 +13,7 @@
 //! shortest-path counting) and [`BcBackward`] (level-synchronous dependency
 //! accumulation) — composed by [`run_bc`].
 
-use chgraph::{Algorithm, ExecutionReport, RunConfig, Runtime, State, UpdateOutcome};
+use chgraph::{Algorithm, ExecError, ExecutionReport, RunConfig, Runtime, State, UpdateOutcome};
 use hypergraph::{Frontier, Hypergraph, VertexId};
 use std::cell::Cell;
 
@@ -222,6 +222,11 @@ pub fn run_bc(
 }
 
 /// [`run_bc`] with optional pre-built OAG artifacts shared by both passes.
+///
+/// # Panics
+///
+/// Panics with the [`ExecError`] message if either pass fails; use
+/// [`try_run_bc_prepared`] to keep failures typed.
 pub fn run_bc_prepared(
     runtime: &dyn Runtime,
     g: &Hypergraph,
@@ -229,9 +234,22 @@ pub fn run_bc_prepared(
     source: VertexId,
     prepared: Option<&chgraph::PreparedOags>,
 ) -> ExecutionReport {
-    let forward = runtime.execute_prepared(g, &BcForward { source }, cfg, prepared);
+    try_run_bc_prepared(runtime, g, cfg, source, prepared)
+        .unwrap_or_else(|e| panic!("{}: {e}", runtime.name()))
+}
+
+/// Fallible [`run_bc_prepared`]: watchdog budgets and validation failures in
+/// either pass surface as a typed [`ExecError`] instead of a panic.
+pub fn try_run_bc_prepared(
+    runtime: &dyn Runtime,
+    g: &Hypergraph,
+    cfg: &RunConfig,
+    source: VertexId,
+    prepared: Option<&chgraph::PreparedOags>,
+) -> Result<ExecutionReport, ExecError> {
+    let forward = runtime.try_execute_prepared(g, &BcForward { source }, cfg, prepared)?;
     let backward_algo = BcBackward::from_forward(&forward.state);
-    let mut backward = runtime.execute_prepared(g, &backward_algo, cfg, prepared);
+    let mut backward = runtime.try_execute_prepared(g, &backward_algo, cfg, prepared)?;
     backward.algorithm = "bc";
     backward.cycles += forward.cycles;
     backward.core_busy_cycles += forward.core_busy_cycles;
@@ -246,7 +264,7 @@ pub fn run_bc_prepared(
         b.fifo_full_stalls += f.fifo_full_stalls;
         b.fifo_empty_stalls += f.fifo_empty_stalls;
     }
-    backward
+    Ok(backward)
 }
 
 #[cfg(test)]

@@ -89,18 +89,69 @@ pub fn connected_components(g: &Hypergraph) -> Vec<f64> {
     label
 }
 
-/// Panics unless `statuses` is a valid maximal strong independent set of
-/// `g`: no two selected vertices share a hyperedge, every vertex is
-/// decided, and no excluded vertex could be added.
-///
-/// # Panics
-///
-/// Panics with a description of the violation.
-pub fn assert_valid_mis(g: &Hypergraph, statuses: &[crate::MisStatus]) {
+/// How a claimed maximal independent set fails to be one — see
+/// [`check_mis`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MisViolation {
+    /// The status vector does not have one entry per vertex.
+    WrongLength {
+        /// Entries provided.
+        got: usize,
+        /// Vertices in the hypergraph.
+        want: usize,
+    },
+    /// A vertex was left undecided.
+    Undecided {
+        /// The undecided vertex.
+        vertex: u32,
+    },
+    /// Independence broken: a hyperedge contains two or more selected
+    /// vertices.
+    Dependent {
+        /// The offending hyperedge.
+        hyperedge: u32,
+        /// How many of its members are selected.
+        selected: usize,
+    },
+    /// Maximality broken: an excluded vertex shares no hyperedge with any
+    /// selected vertex, so it could have been added.
+    NotMaximal {
+        /// The wrongly excluded vertex.
+        vertex: u32,
+    },
+}
+
+impl std::fmt::Display for MisViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MisViolation::WrongLength { got, want } => {
+                write!(f, "{got} statuses for {want} vertices")
+            }
+            MisViolation::Undecided { vertex } => write!(f, "v{vertex} left undecided"),
+            MisViolation::Dependent { hyperedge, selected } => {
+                write!(f, "hyperedge h{hyperedge} contains {selected} selected vertices")
+            }
+            MisViolation::NotMaximal { vertex } => {
+                write!(f, "excluded v{vertex} has no selected hyperedge-neighbor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MisViolation {}
+
+/// Checks that `statuses` is a valid maximal strong independent set of `g`:
+/// no two selected vertices share a hyperedge, every vertex is decided, and
+/// no excluded vertex could be added. Returns the first violation found.
+pub fn check_mis(g: &Hypergraph, statuses: &[crate::MisStatus]) -> Result<(), MisViolation> {
     use crate::MisStatus;
-    assert_eq!(statuses.len(), g.num_vertices());
+    if statuses.len() != g.num_vertices() {
+        return Err(MisViolation::WrongLength { got: statuses.len(), want: g.num_vertices() });
+    }
     for (v, s) in statuses.iter().enumerate() {
-        assert_ne!(*s, MisStatus::Undecided, "v{v} left undecided");
+        if *s == MisStatus::Undecided {
+            return Err(MisViolation::Undecided { vertex: v as u32 });
+        }
     }
     // Independence: no hyperedge contains two selected vertices.
     for h in 0..g.num_hyperedges() as u32 {
@@ -109,7 +160,9 @@ pub fn assert_valid_mis(g: &Hypergraph, statuses: &[crate::MisStatus]) {
             .iter()
             .filter(|&&v| statuses[v as usize] == MisStatus::InSet)
             .count();
-        assert!(selected <= 1, "hyperedge h{h} contains {selected} selected vertices");
+        if selected > 1 {
+            return Err(MisViolation::Dependent { hyperedge: h, selected });
+        }
     }
     // Maximality: every excluded vertex shares a hyperedge with a selected one.
     for v in 0..g.num_vertices() as u32 {
@@ -121,7 +174,22 @@ pub fn assert_valid_mis(g: &Hypergraph, statuses: &[crate::MisStatus]) {
                 .iter()
                 .any(|&u| u != v && statuses[u as usize] == MisStatus::InSet)
         });
-        assert!(witnessed, "excluded v{v} has no selected hyperedge-neighbor");
+        if !witnessed {
+            return Err(MisViolation::NotMaximal { vertex: v });
+        }
+    }
+    Ok(())
+}
+
+/// Panics unless `statuses` is a valid maximal strong independent set of
+/// `g` (see [`check_mis`]).
+///
+/// # Panics
+///
+/// Panics with a description of the violation.
+pub fn assert_valid_mis(g: &Hypergraph, statuses: &[crate::MisStatus]) {
+    if let Err(v) = check_mis(g, statuses) {
+        panic!("{v}");
     }
 }
 

@@ -1,9 +1,10 @@
 //! The evaluation's workload set and a uniform entry point.
 
 use crate::{
-    run_bc_prepared, Adsorption, Bfs, ConnectedComponents, CoreDecomposition, Mis, PageRank, Sssp,
+    try_run_bc_prepared, Adsorption, Bfs, ConnectedComponents, CoreDecomposition, Mis, PageRank,
+    Sssp,
 };
-use chgraph::{ExecutionReport, PreparedOags, RunConfig, Runtime};
+use chgraph::{ExecError, ExecutionReport, PreparedOags, RunConfig, Runtime};
 use hypergraph::{Hypergraph, VertexId};
 use std::fmt;
 
@@ -94,16 +95,41 @@ pub fn run_workload_prepared(
     cfg: &RunConfig,
     prepared: Option<&PreparedOags>,
 ) -> ExecutionReport {
+    try_run_workload_prepared(workload, runtime, g, cfg, prepared)
+        .unwrap_or_else(|e| panic!("{}: {e}", runtime.name()))
+}
+
+/// Fallible [`run_workload`]: watchdog budgets and structural-validation
+/// failures surface as a typed [`ExecError`] instead of a panic.
+pub fn try_run_workload(
+    workload: Workload,
+    runtime: &dyn Runtime,
+    g: &Hypergraph,
+    cfg: &RunConfig,
+) -> Result<ExecutionReport, ExecError> {
+    try_run_workload_prepared(workload, runtime, g, cfg, None)
+}
+
+/// Fallible [`run_workload_prepared`].
+pub fn try_run_workload_prepared(
+    workload: Workload,
+    runtime: &dyn Runtime,
+    g: &Hypergraph,
+    cfg: &RunConfig,
+    prepared: Option<&PreparedOags>,
+) -> Result<ExecutionReport, ExecError> {
     let source = default_source(g);
     match workload {
-        Workload::Bfs => runtime.execute_prepared(g, &Bfs::new(source), cfg, prepared),
-        Workload::Pr => runtime.execute_prepared(g, &PageRank::new(), cfg, prepared),
-        Workload::Mis => runtime.execute_prepared(g, &Mis, cfg, prepared),
-        Workload::Bc => run_bc_prepared(runtime, g, cfg, source, prepared),
-        Workload::Cc => runtime.execute_prepared(g, &ConnectedComponents, cfg, prepared),
-        Workload::KCore => runtime.execute_prepared(g, &CoreDecomposition::new(), cfg, prepared),
-        Workload::Sssp => runtime.execute_prepared(g, &Sssp::new(source), cfg, prepared),
-        Workload::Adsorption => runtime.execute_prepared(g, &Adsorption::new(), cfg, prepared),
+        Workload::Bfs => runtime.try_execute_prepared(g, &Bfs::new(source), cfg, prepared),
+        Workload::Pr => runtime.try_execute_prepared(g, &PageRank::new(), cfg, prepared),
+        Workload::Mis => runtime.try_execute_prepared(g, &Mis, cfg, prepared),
+        Workload::Bc => try_run_bc_prepared(runtime, g, cfg, source, prepared),
+        Workload::Cc => runtime.try_execute_prepared(g, &ConnectedComponents, cfg, prepared),
+        Workload::KCore => {
+            runtime.try_execute_prepared(g, &CoreDecomposition::new(), cfg, prepared)
+        }
+        Workload::Sssp => runtime.try_execute_prepared(g, &Sssp::new(source), cfg, prepared),
+        Workload::Adsorption => runtime.try_execute_prepared(g, &Adsorption::new(), cfg, prepared),
     }
 }
 

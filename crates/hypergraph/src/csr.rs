@@ -5,6 +5,7 @@
 //! `offsets` array of length `n + 1` and a flat `targets` array, where the
 //! neighbors of element `i` occupy `targets[offsets[i]..offsets[i + 1]]`.
 
+use crate::validate::{self, ValidationError};
 use serde::{Deserialize, Serialize};
 
 /// A compressed-sparse-row adjacency structure over dense `u32` ids.
@@ -50,18 +51,32 @@ impl Csr {
     /// # Panics
     ///
     /// Panics if the arrays do not form a valid CSR (`offsets` empty,
-    /// non-monotone, or final offset not equal to `targets.len()`).
+    /// non-monotone, or final offset not equal to `targets.len()`). Use
+    /// [`Csr::try_from_raw`] for untrusted data.
     pub fn from_raw(offsets: Vec<u32>, targets: Vec<u32>) -> Self {
-        assert!(!offsets.is_empty(), "CSR offsets must contain at least one entry");
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "CSR offsets must be non-decreasing");
-        assert_eq!(
-            // invariant: the preceding assert guarantees offsets is
-            // non-empty.
-            *offsets.last().expect("nonempty") as usize,
-            targets.len(),
-            "final CSR offset must equal the number of targets"
-        );
-        Csr { offsets, targets }
+        Csr::try_from_raw(offsets, targets).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Csr::from_raw`]: builds a CSR from raw arrays, returning a
+    /// typed [`ValidationError`] instead of panicking when they do not form
+    /// a valid CSR. This is the constructor for *untrusted* data (file
+    /// readers, deserialized caches).
+    pub fn try_from_raw(offsets: Vec<u32>, targets: Vec<u32>) -> Result<Self, ValidationError> {
+        validate::validate_offsets("CSR", &offsets, targets.len())?;
+        Ok(Csr { offsets, targets })
+    }
+
+    /// Checks this CSR's structural invariants against `num_targets` valid
+    /// target ids.
+    ///
+    /// Construction through [`Csr::from_adjacency`]/[`Csr::try_from_raw`]
+    /// cannot violate the offsets invariants, but a deserialized CSR (the
+    /// serde derive performs no checking) or one holding ids for an
+    /// opposite side it was never checked against can. `what` names the
+    /// structure in the returned error.
+    pub fn validate(&self, what: &'static str, num_targets: usize) -> Result<(), ValidationError> {
+        validate::validate_offsets(what, &self.offsets, self.targets.len())?;
+        validate::validate_targets(what, &self.targets, num_targets)
     }
 
     /// Number of rows (source elements).
@@ -137,11 +152,18 @@ impl Csr {
     ///
     /// # Panics
     ///
-    /// Panics if any target id is `>= num_targets`.
+    /// Panics if any target id is `>= num_targets`. Use
+    /// [`Csr::try_transpose`] for untrusted data.
     pub fn transpose(&self, num_targets: usize) -> Csr {
+        self.try_transpose(num_targets).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Csr::transpose`]: returns a typed [`ValidationError`]
+    /// instead of panicking when a target id is `>= num_targets`.
+    pub fn try_transpose(&self, num_targets: usize) -> Result<Csr, ValidationError> {
         let mut counts = vec![0u32; num_targets + 1];
+        validate::validate_targets("CSR", &self.targets, num_targets)?;
         for &t in &self.targets {
-            assert!((t as usize) < num_targets, "target {t} out of range {num_targets}");
             counts[t as usize + 1] += 1;
         }
         for i in 1..counts.len() {
@@ -159,7 +181,7 @@ impl Csr {
                 cursor[t as usize] += 1;
             }
         }
-        Csr { offsets, targets }
+        Ok(Csr { offsets, targets })
     }
 
     /// Approximate resident size in bytes (offsets + targets), used by the
@@ -238,6 +260,43 @@ mod tests {
     #[should_panic(expected = "final CSR offset")]
     fn from_raw_rejects_bad_total() {
         let _ = Csr::from_raw(vec![0, 2], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn try_from_raw_returns_typed_errors() {
+        assert!(Csr::try_from_raw(vec![0, 2], vec![5, 6]).is_ok());
+        assert!(matches!(
+            Csr::try_from_raw(vec![], vec![]),
+            Err(ValidationError::EmptyOffsets { .. })
+        ));
+        assert!(matches!(
+            Csr::try_from_raw(vec![0, 3, 2], vec![1, 2, 3]),
+            Err(ValidationError::NonMonotoneOffsets { index: 1, before: 3, after: 2, .. })
+        ));
+        assert!(matches!(
+            Csr::try_from_raw(vec![0, 2], vec![1, 2, 3]),
+            Err(ValidationError::TargetCountMismatch { final_offset: 2, num_targets: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn try_transpose_rejects_out_of_range() {
+        let csr = sample();
+        assert!(csr.try_transpose(7).is_ok());
+        assert!(matches!(
+            csr.try_transpose(5),
+            Err(ValidationError::TargetOutOfRange { target: 6, limit: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_checks_range() {
+        let csr = sample();
+        assert!(csr.validate("CSR", 7).is_ok());
+        assert!(matches!(
+            csr.validate("CSR", 6),
+            Err(ValidationError::TargetOutOfRange { target: 6, limit: 6, .. })
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The immutable bipartite-CSR hypergraph.
 
+use crate::validate::ValidationError;
 use crate::{Csr, HyperedgeId, Side, VertexId};
 use serde::{Deserialize, Serialize};
 
@@ -30,14 +31,23 @@ impl Hypergraph {
     /// # Panics
     ///
     /// Panics if the two sides disagree on the bipartite edge count, or if
-    /// either side references an id out of range of the other.
+    /// either side references an id out of range of the other. Use
+    /// [`Hypergraph::try_from_csr`] for untrusted data.
     pub fn from_csr(hyperedge_csr: Csr, vertex_csr: Csr) -> Self {
-        assert_eq!(
-            hyperedge_csr.num_edges(),
-            vertex_csr.num_edges(),
-            "bipartite edge count mismatch between CSR sides"
-        );
-        Hypergraph::from_directed_csr(hyperedge_csr, vertex_csr)
+        Hypergraph::try_from_csr(hyperedge_csr, vertex_csr).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Hypergraph::from_csr`]: returns a typed
+    /// [`ValidationError`] instead of panicking on mismatched sides or
+    /// out-of-range ids.
+    pub fn try_from_csr(hyperedge_csr: Csr, vertex_csr: Csr) -> Result<Self, ValidationError> {
+        if hyperedge_csr.num_edges() != vertex_csr.num_edges() {
+            return Err(ValidationError::EdgeCountMismatch {
+                hyperedge_side: hyperedge_csr.num_edges(),
+                vertex_side: vertex_csr.num_edges(),
+            });
+        }
+        Hypergraph::try_from_directed_csr(hyperedge_csr, vertex_csr)
     }
 
     /// Assembles a hypergraph whose two CSR sides are **not** required to be
@@ -48,18 +58,65 @@ impl Hypergraph {
     /// # Panics
     ///
     /// Panics if either side references an id out of range of the other.
+    /// Use [`Hypergraph::try_from_directed_csr`] for untrusted data.
     pub fn from_directed_csr(hyperedge_csr: Csr, vertex_csr: Csr) -> Self {
-        let nv = vertex_csr.len();
-        let nh = hyperedge_csr.len();
-        assert!(
-            hyperedge_csr.targets().iter().all(|&v| (v as usize) < nv),
-            "hyperedge CSR references a vertex out of range"
-        );
-        assert!(
-            vertex_csr.targets().iter().all(|&h| (h as usize) < nh),
-            "vertex CSR references a hyperedge out of range"
-        );
-        Hypergraph { hyperedge_csr, vertex_csr }
+        Hypergraph::try_from_directed_csr(hyperedge_csr, vertex_csr)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Hypergraph::from_directed_csr`]: returns a typed
+    /// [`ValidationError`] instead of panicking on out-of-range ids.
+    pub fn try_from_directed_csr(
+        hyperedge_csr: Csr,
+        vertex_csr: Csr,
+    ) -> Result<Self, ValidationError> {
+        let g = Hypergraph { hyperedge_csr, vertex_csr };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Checks the structural invariants every encoding (undirected *and*
+    /// directed) must satisfy: both CSR sides well-formed, and every target
+    /// id within the opposite side's range. Returns the first violation as a
+    /// typed [`ValidationError`].
+    ///
+    /// Internally-built hypergraphs cannot violate these; the check exists
+    /// for *untrusted* topologies — deserialized cache artifacts, parsed
+    /// input files, fault-injection fixtures.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        self.hyperedge_csr.validate("hyperedge CSR", self.vertex_csr.len())?;
+        self.vertex_csr.validate("vertex CSR", self.hyperedge_csr.len())
+    }
+
+    /// Deep check for undirected encodings: [`Hypergraph::validate`] plus
+    /// the requirement that the two CSR sides are mutual transposes — every
+    /// `<h, v>` incidence recorded by one side is recorded exactly once by
+    /// the other. This is the check behind the `--validate` CLI flag.
+    ///
+    /// Directed hypergraphs (see [`directed`](crate::directed)) legitimately
+    /// fail this; validate them with [`Hypergraph::validate`] instead.
+    pub fn validate_undirected(&self) -> Result<(), ValidationError> {
+        self.validate()?;
+        if self.hyperedge_csr.num_edges() != self.vertex_csr.num_edges() {
+            return Err(ValidationError::EdgeCountMismatch {
+                hyperedge_side: self.hyperedge_csr.num_edges(),
+                vertex_side: self.vertex_csr.num_edges(),
+            });
+        }
+        // Transposing sorts each row ascending, so compare sorted incidence
+        // multisets row by row (rows themselves may be stored in any order).
+        let transposed = self.hyperedge_csr.try_transpose(self.vertex_csr.len())?;
+        for v in 0..self.vertex_csr.len() {
+            let mut stored: Vec<u32> = self.vertex_csr.neighbors(v).to_vec();
+            stored.sort_unstable();
+            if stored != transposed.neighbors(v) {
+                // invariant: v indexes the vertex CSR, whose row count is
+                // bounded by u32 offsets.
+                let element = u32::try_from(v).expect("vertex id fits u32");
+                return Err(ValidationError::AsymmetricIncidence { side: Side::Vertex, element });
+            }
+        }
+        Ok(())
     }
 
     /// Number of vertices `|V|`.
@@ -209,6 +266,37 @@ mod tests {
     fn mean_degree() {
         let g = fig1_example();
         assert!((g.mean_hyperedge_degree() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_builder_output() {
+        let g = fig1_example();
+        assert!(g.validate().is_ok());
+        assert!(g.validate_undirected().is_ok());
+    }
+
+    #[test]
+    fn validate_undirected_rejects_asymmetric_sides() {
+        // Edge counts agree (2 each) but v0's incidence list claims h1
+        // while h1 claims only v1 — an asymmetric bipartite encoding.
+        let h = Csr::from_adjacency(vec![vec![0], vec![1]]);
+        let v = Csr::from_adjacency(vec![vec![0, 1], vec![]]);
+        let g = Hypergraph::try_from_directed_csr(h, v).expect("ids are in range");
+        assert!(g.validate().is_ok(), "directed-compatible checks pass");
+        assert_eq!(
+            g.validate_undirected(),
+            Err(ValidationError::AsymmetricIncidence { side: Side::Vertex, element: 0 })
+        );
+    }
+
+    #[test]
+    fn try_from_csr_rejects_mismatched_sides() {
+        let h = Csr::from_adjacency(vec![vec![0, 1]]);
+        let v = Csr::from_adjacency(vec![vec![0]]);
+        assert_eq!(
+            Hypergraph::try_from_csr(h, v),
+            Err(ValidationError::EdgeCountMismatch { hyperedge_side: 2, vertex_side: 1 })
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! exactly (incidence order preserved), so preprocessed inputs can be cached
 //! on disk between benchmark runs.
 
+use crate::validate::ValidationError;
 use crate::{BuildHypergraphError, HyperedgeId, Hypergraph, HypergraphBuilder, VertexId};
 use std::error::Error;
 use std::fmt;
@@ -47,6 +48,9 @@ pub enum ReadHypergraphError {
         /// Digest computed over the bytes actually read.
         computed: u64,
     },
+    /// The deserialized arrays passed the checksum but violate a structural
+    /// invariant (non-monotone offsets, dangling targets, ...).
+    Invalid(ValidationError),
 }
 
 impl fmt::Display for ReadHypergraphError {
@@ -63,6 +67,7 @@ impl fmt::Display for ReadHypergraphError {
             ReadHypergraphError::ChecksumMismatch { stored, computed } => {
                 write!(f, "checksum mismatch: file says {stored:#018x}, contents hash to {computed:#018x}")
             }
+            ReadHypergraphError::Invalid(e) => write!(f, "invalid hypergraph structure: {e}"),
         }
     }
 }
@@ -71,6 +76,7 @@ impl Error for ReadHypergraphError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ReadHypergraphError::Io(e) => Some(e),
+            ReadHypergraphError::Invalid(e) => Some(e),
             _ => None,
         }
     }
@@ -79,6 +85,12 @@ impl Error for ReadHypergraphError {
 impl From<std::io::Error> for ReadHypergraphError {
     fn from(e: std::io::Error) -> Self {
         ReadHypergraphError::Io(e)
+    }
+}
+
+impl From<ValidationError> for ReadHypergraphError {
+    fn from(e: ValidationError) -> Self {
+        ReadHypergraphError::Invalid(e)
     }
 }
 
@@ -252,10 +264,11 @@ mod hypergraph_side {
 ///
 /// # Errors
 ///
-/// Returns [`ReadHypergraphError::BadHeader`] for wrong magic/version or
-/// inconsistent arrays, [`ReadHypergraphError::ChecksumMismatch`] when the
-/// v2 trailer disagrees with the contents, and propagates I/O failures
-/// (including truncation).
+/// Returns [`ReadHypergraphError::BadHeader`] for wrong magic/version or an
+/// implausible length field, [`ReadHypergraphError::Invalid`] when the
+/// arrays violate a CSR invariant, [`ReadHypergraphError::ChecksumMismatch`]
+/// when the v2 trailer disagrees with the contents, and propagates I/O
+/// failures (including truncation).
 pub fn read_binary<R: Read>(r: R) -> Result<Hypergraph, ReadHypergraphError> {
     let mut r = crate::checksum::HashingReader::new(r);
     let mut magic = [0u8; 4];
@@ -282,26 +295,9 @@ pub fn read_binary<R: Read>(r: R) -> Result<Hypergraph, ReadHypergraphError> {
             return Err(ReadHypergraphError::ChecksumMismatch { stored, computed });
         }
     }
-    let validate = |offsets: &[u32], targets: &[u32], what: &str| {
-        let Some(&last) = offsets.last() else {
-            return Err(ReadHypergraphError::BadHeader(format!("empty {what} offsets")));
-        };
-        if !offsets.windows(2).all(|w| w[0] <= w[1]) || last as usize != targets.len() {
-            return Err(ReadHypergraphError::BadHeader(format!("inconsistent {what} CSR")));
-        }
-        Ok(())
-    };
-    validate(&h_offsets, &h_targets, "hyperedge")?;
-    validate(&v_offsets, &v_targets, "vertex")?;
-    let nv = v_offsets.len() - 1;
-    let nh = h_offsets.len() - 1;
-    if h_targets.iter().any(|&v| v as usize >= nv) || v_targets.iter().any(|&h| h as usize >= nh) {
-        return Err(ReadHypergraphError::BadHeader("dangling CSR target".into()));
-    }
-    Ok(Hypergraph::from_directed_csr(
-        crate::Csr::from_raw(h_offsets, h_targets),
-        crate::Csr::from_raw(v_offsets, v_targets),
-    ))
+    let h = crate::Csr::try_from_raw(h_offsets, h_targets)?;
+    let v = crate::Csr::try_from_raw(v_offsets, v_targets)?;
+    Ok(Hypergraph::try_from_directed_csr(h, v)?)
 }
 
 /// Rewrites a v2 binary blob as the legacy v1 format (patch the version

@@ -55,12 +55,14 @@ mod ids;
 pub mod io;
 pub mod partition;
 pub mod stats;
+pub mod validate;
 
 pub use build::{BuildHypergraphError, HypergraphBuilder};
 pub use csr::Csr;
 pub use frontier::Frontier;
 pub use graph::Hypergraph;
 pub use ids::{HyperedgeId, Side, VertexId};
+pub use validate::ValidationError;
 
 /// Constructs the 7-vertex, 4-hyperedge example hypergraph of the paper's
 /// Fig. 1. Used pervasively in tests and doc examples.

@@ -1,0 +1,299 @@
+//! Structural validators for untrusted topology data.
+//!
+//! Construction through [`HypergraphBuilder`](crate::HypergraphBuilder) or
+//! the generators cannot produce malformed structures, but data arriving
+//! from *outside* — a deserialized cache artifact, a hand-written input
+//! file, a fault-injected test fixture — can violate every invariant the
+//! rest of the system assumes. The validators here turn each violation into
+//! a typed [`ValidationError`] instead of an out-of-bounds panic (best case)
+//! or a silently wrong answer (worst case).
+//!
+//! Three layers of checks build on one another:
+//!
+//! - [`validate_offsets`] / [`validate_targets`] — raw CSR array invariants
+//!   (shared with the OAG crate, whose weighted CSR reuses them);
+//! - [`Hypergraph::validate`](crate::Hypergraph::validate) — per-side CSR
+//!   structure plus cross-side id ranges (accepts directed encodings);
+//! - [`Hypergraph::validate_undirected`](crate::Hypergraph::validate_undirected)
+//!   — additionally proves the two sides are mutual transposes, the deep
+//!   check behind the `--validate` CLI flag.
+
+use crate::Side;
+use std::error::Error;
+use std::fmt;
+
+/// A structural invariant violation found by a validator.
+///
+/// The `what` fields name the array being checked (e.g. `"hyperedge CSR"`,
+/// `"OAG"`), so one error type serves the hypergraph, OAG, and chain-cover
+/// validators.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValidationError {
+    /// A CSR offsets array was empty (it must hold at least the single `0`
+    /// of a zero-row structure).
+    EmptyOffsets {
+        /// The structure being checked.
+        what: &'static str,
+    },
+    /// Adjacent CSR offsets decreased.
+    NonMonotoneOffsets {
+        /// The structure being checked.
+        what: &'static str,
+        /// Index `i` such that `offsets[i] > offsets[i + 1]`.
+        index: usize,
+        /// `offsets[index]`.
+        before: u32,
+        /// `offsets[index + 1]`.
+        after: u32,
+    },
+    /// The final CSR offset disagrees with the length of the target array.
+    TargetCountMismatch {
+        /// The structure being checked.
+        what: &'static str,
+        /// The final offset value.
+        final_offset: usize,
+        /// The actual number of target entries.
+        num_targets: usize,
+    },
+    /// A CSR target id is outside the opposite side's id range.
+    TargetOutOfRange {
+        /// The structure being checked.
+        what: &'static str,
+        /// Position within the flat target array.
+        index: usize,
+        /// The offending id.
+        target: u32,
+        /// Number of valid ids (targets must be `< limit`).
+        limit: usize,
+    },
+    /// The two bipartite CSR sides disagree on the total edge count
+    /// (undirected encodings only).
+    EdgeCountMismatch {
+        /// Edges stored by the hyperedge CSR.
+        hyperedge_side: usize,
+        /// Edges stored by the vertex CSR.
+        vertex_side: usize,
+    },
+    /// The two bipartite CSR sides are not mutual transposes (undirected
+    /// encodings only): `element`'s incidence list on `side` disagrees with
+    /// the membership recorded by the opposite side.
+    AsymmetricIncidence {
+        /// The side whose incidence list is inconsistent.
+        side: Side,
+        /// First element id whose incidence set diverges.
+        element: u32,
+    },
+    /// An OAG adjacency entry carries a weight below the construction
+    /// threshold `W_min`.
+    WeightBelowThreshold {
+        /// The OAG row.
+        element: u32,
+        /// The neighbor whose edge is under-weighted.
+        neighbor: u32,
+        /// The stored weight.
+        weight: u32,
+        /// The minimum admissible weight.
+        w_min: u32,
+    },
+    /// An OAG row is not sorted by descending weight (ties by ascending id),
+    /// the order chain generation depends on (paper §IV-B).
+    RowOrderViolation {
+        /// The OAG row.
+        element: u32,
+        /// Position within the row of the first out-of-order entry.
+        position: usize,
+    },
+    /// An OAG row lists the element itself as an overlap neighbor.
+    SelfOverlap {
+        /// The offending row/element id.
+        element: u32,
+    },
+    /// The OAG edge and weight arrays have different lengths.
+    WeightCountMismatch {
+        /// Number of adjacency entries.
+        num_edges: usize,
+        /// Number of weight entries.
+        num_weights: usize,
+    },
+    /// A chain schedule visited an element outside the chunk range it was
+    /// generated for.
+    ChainElementOutOfRange {
+        /// The scheduled element.
+        element: u32,
+        /// Start of the chunk range (inclusive).
+        start: u32,
+        /// End of the chunk range (exclusive).
+        end: u32,
+    },
+    /// A chain schedule visited an element that is not in the active set.
+    ChainElementInactive {
+        /// The scheduled element.
+        element: u32,
+    },
+    /// A chain schedule visited the same element twice.
+    ChainDuplicateVisit {
+        /// The element visited more than once.
+        element: u32,
+    },
+    /// A chain schedule failed to visit an active element of its range —
+    /// the "dropped hyperedge" fault that would otherwise produce a
+    /// silently wrong answer.
+    ChainMissedElement {
+        /// The active element the schedule never visits.
+        element: u32,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::EmptyOffsets { what } => {
+                write!(f, "{what} offsets must contain at least one entry")
+            }
+            ValidationError::NonMonotoneOffsets { what, index, before, after } => write!(
+                f,
+                "{what} offsets must be non-decreasing: offsets[{}] = {after} < \
+                 offsets[{index}] = {before}",
+                index + 1
+            ),
+            ValidationError::TargetCountMismatch { what, final_offset, num_targets } => write!(
+                f,
+                "final CSR offset {final_offset} must equal the number of targets \
+                 {num_targets} in {what}"
+            ),
+            ValidationError::TargetOutOfRange { what, index, target, limit } => {
+                write!(f, "{what} target {target} at position {index} out of range {limit}")
+            }
+            ValidationError::EdgeCountMismatch { hyperedge_side, vertex_side } => write!(
+                f,
+                "bipartite edge count mismatch between CSR sides: hyperedge CSR stores \
+                 {hyperedge_side}, vertex CSR stores {vertex_side}"
+            ),
+            ValidationError::AsymmetricIncidence { side, element } => write!(
+                f,
+                "asymmetric bipartite incidence: {side} {element}'s incidence list \
+                 disagrees with the opposite CSR side"
+            ),
+            ValidationError::WeightBelowThreshold { element, neighbor, weight, w_min } => write!(
+                f,
+                "OAG edge {element} -> {neighbor} has weight {weight} below W_min {w_min}"
+            ),
+            ValidationError::RowOrderViolation { element, position } => write!(
+                f,
+                "OAG row {element} violates descending-weight (ties ascending-id) order \
+                 at position {position}"
+            ),
+            ValidationError::SelfOverlap { element } => {
+                write!(f, "OAG row {element} lists itself as an overlap neighbor")
+            }
+            ValidationError::WeightCountMismatch { num_edges, num_weights } => {
+                write!(f, "OAG stores {num_edges} adjacency entries but {num_weights} weights")
+            }
+            ValidationError::ChainElementOutOfRange { element, start, end } => write!(
+                f,
+                "chain schedule visits element {element} outside its chunk range \
+                 [{start}, {end})"
+            ),
+            ValidationError::ChainElementInactive { element } => {
+                write!(f, "chain schedule visits inactive element {element}")
+            }
+            ValidationError::ChainDuplicateVisit { element } => {
+                write!(f, "chain schedule visits element {element} more than once")
+            }
+            ValidationError::ChainMissedElement { element } => {
+                write!(f, "chain schedule misses active element {element}")
+            }
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Checks the CSR offsets-array invariants: non-empty, non-decreasing, and
+/// ending at `num_targets`.
+pub fn validate_offsets(
+    what: &'static str,
+    offsets: &[u32],
+    num_targets: usize,
+) -> Result<(), ValidationError> {
+    let Some(&last) = offsets.last() else {
+        return Err(ValidationError::EmptyOffsets { what });
+    };
+    if let Some(index) = offsets.windows(2).position(|w| w[0] > w[1]) {
+        return Err(ValidationError::NonMonotoneOffsets {
+            what,
+            index,
+            before: offsets[index],
+            after: offsets[index + 1],
+        });
+    }
+    if last as usize != num_targets {
+        return Err(ValidationError::TargetCountMismatch {
+            what,
+            final_offset: last as usize,
+            num_targets,
+        });
+    }
+    Ok(())
+}
+
+/// Checks that every target id is `< limit`.
+pub fn validate_targets(
+    what: &'static str,
+    targets: &[u32],
+    limit: usize,
+) -> Result<(), ValidationError> {
+    match targets.iter().position(|&t| t as usize >= limit) {
+        Some(index) => {
+            Err(ValidationError::TargetOutOfRange { what, index, target: targets[index], limit })
+        }
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_checks() {
+        assert!(validate_offsets("t", &[0, 2, 5], 5).is_ok());
+        assert_eq!(validate_offsets("t", &[], 0), Err(ValidationError::EmptyOffsets { what: "t" }));
+        assert_eq!(
+            validate_offsets("t", &[0, 3, 2], 2),
+            Err(ValidationError::NonMonotoneOffsets { what: "t", index: 1, before: 3, after: 2 })
+        );
+        assert_eq!(
+            validate_offsets("t", &[0, 2], 3),
+            Err(ValidationError::TargetCountMismatch {
+                what: "t",
+                final_offset: 2,
+                num_targets: 3
+            })
+        );
+    }
+
+    #[test]
+    fn target_checks() {
+        assert!(validate_targets("t", &[0, 1, 2], 3).is_ok());
+        assert_eq!(
+            validate_targets("t", &[0, 7, 2], 3),
+            Err(ValidationError::TargetOutOfRange { what: "t", index: 1, target: 7, limit: 3 })
+        );
+    }
+
+    #[test]
+    fn display_phrases_match_legacy_panics() {
+        // The infallible constructors panic with `Display` of these errors;
+        // downstream `#[should_panic(expected = ...)]` tests pin the phrases.
+        let e = ValidationError::NonMonotoneOffsets { what: "CSR", index: 0, before: 3, after: 2 };
+        assert!(e.to_string().contains("non-decreasing"));
+        let e =
+            ValidationError::TargetCountMismatch { what: "CSR", final_offset: 2, num_targets: 3 };
+        assert!(e.to_string().contains("final CSR offset"));
+        let e = ValidationError::TargetOutOfRange { what: "CSR", index: 0, target: 9, limit: 4 };
+        assert!(e.to_string().contains("out of range"));
+        let e = ValidationError::EdgeCountMismatch { hyperedge_side: 2, vertex_side: 1 };
+        assert!(e.to_string().contains("edge count mismatch"));
+    }
+}

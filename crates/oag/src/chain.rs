@@ -4,7 +4,9 @@
 //! each chain is recorded as an offset range into that queue (the software
 //! analogue of `NEWCHAIN(c)` recording the chain queue's offset).
 
+use hypergraph::{Frontier, ValidationError};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// A set of chains over one side's element ids, stored as a shared queue plus
 /// chain start offsets.
@@ -22,6 +24,28 @@ impl ChainSet {
     /// Creates an empty chain set.
     pub fn new() -> Self {
         ChainSet::default()
+    }
+
+    /// Builds a chain set from explicit per-chain element lists.
+    ///
+    /// Chain generation produces [`ChainSet`]s internally; this constructor
+    /// exists for external schedules (replays, fault-injection fixtures) so
+    /// they can be checked with [`ChainSet::validate_cover`] like any other
+    /// schedule.
+    pub fn from_chains<I, C>(chains: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: IntoIterator<Item = u32>,
+    {
+        let mut set = ChainSet::new();
+        for chain in chains {
+            set.begin_chain();
+            for e in chain {
+                set.push_element(e);
+            }
+        }
+        set.end_generation();
+        set
     }
 
     pub(crate) fn push_element(&mut self, e: u32) {
@@ -79,6 +103,47 @@ impl ChainSet {
     /// skew analysis around `D_max` (Fig. 17).
     pub fn max_chain_len(&self) -> usize {
         self.iter().map(<[u32]>::len).max().unwrap_or(0)
+    }
+
+    /// Proves this chain set is a *cover* of the active elements of
+    /// `range`: the flat schedule visits every element of `active` within
+    /// `range` exactly once and nothing else. This is the paper's §IV
+    /// reordering invariant — the property that makes chain-driven
+    /// execution a pure permutation of index order — checked explicitly, so
+    /// a corrupted schedule (dropped hyperedge, double visit) is rejected
+    /// *before* it silently produces a wrong answer.
+    ///
+    /// Returns the first violation as a typed [`ValidationError`].
+    pub fn validate_cover(
+        &self,
+        active: &Frontier,
+        range: Range<u32>,
+    ) -> Result<(), ValidationError> {
+        let width = (range.end.saturating_sub(range.start)) as usize;
+        let mut visited = vec![false; width];
+        for &e in &self.queue {
+            if !range.contains(&e) {
+                return Err(ValidationError::ChainElementOutOfRange {
+                    element: e,
+                    start: range.start,
+                    end: range.end,
+                });
+            }
+            if !active.contains(e) {
+                return Err(ValidationError::ChainElementInactive { element: e });
+            }
+            let slot = (e - range.start) as usize;
+            if visited[slot] {
+                return Err(ValidationError::ChainDuplicateVisit { element: e });
+            }
+            visited[slot] = true;
+        }
+        for e in range.clone() {
+            if active.contains(e) && !visited[(e - range.start) as usize] {
+                return Err(ValidationError::ChainMissedElement { element: e });
+            }
+        }
+        Ok(())
     }
 
     /// Mean chain length (0.0 if empty).
@@ -143,6 +208,52 @@ mod tests {
         assert_eq!(empty.max_chain_len(), 0);
         assert_eq!(empty.mean_chain_len(), 0.0);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn from_chains_matches_incremental_construction() {
+        let c = ChainSet::from_chains(vec![vec![0u32, 2], vec![1]]);
+        assert_eq!(c, sample());
+    }
+
+    #[test]
+    fn validate_cover_accepts_exact_permutations() {
+        let active = Frontier::from_iter(4, [0, 1, 2]);
+        let c = ChainSet::from_chains(vec![vec![0u32, 2], vec![1]]);
+        assert!(c.validate_cover(&active, 0..4).is_ok());
+    }
+
+    #[test]
+    fn validate_cover_rejects_each_fault() {
+        let active = Frontier::from_iter(4, [0, 1, 2]);
+
+        // Dropped element: 1 is active but never scheduled.
+        let dropped = ChainSet::from_chains(vec![vec![0u32, 2]]);
+        assert_eq!(
+            dropped.validate_cover(&active, 0..4),
+            Err(ValidationError::ChainMissedElement { element: 1 })
+        );
+
+        // Double visit.
+        let doubled = ChainSet::from_chains(vec![vec![0u32, 2], vec![1, 2]]);
+        assert_eq!(
+            doubled.validate_cover(&active, 0..4),
+            Err(ValidationError::ChainDuplicateVisit { element: 2 })
+        );
+
+        // Inactive element scheduled.
+        let inactive = ChainSet::from_chains(vec![vec![0u32, 2, 3], vec![1]]);
+        assert_eq!(
+            inactive.validate_cover(&active, 0..4),
+            Err(ValidationError::ChainElementInactive { element: 3 })
+        );
+
+        // Element outside the chunk range.
+        let escaped = ChainSet::from_chains(vec![vec![0u32, 2], vec![1]]);
+        assert_eq!(
+            escaped.validate_cover(&active, 0..2),
+            Err(ValidationError::ChainElementOutOfRange { element: 2, start: 0, end: 2 })
+        );
     }
 
     #[test]

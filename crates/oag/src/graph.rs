@@ -1,6 +1,7 @@
 //! The overlap-aware abstraction graph.
 
-use hypergraph::Side;
+use hypergraph::validate::{validate_offsets, validate_targets};
+use hypergraph::{Side, ValidationError};
 use serde::{Deserialize, Serialize};
 
 /// An overlap-aware abstraction graph (paper Definition 1).
@@ -122,6 +123,55 @@ impl Oag {
         &self.weights
     }
 
+    /// Checks every structural invariant of the OAG representation:
+    /// well-formed offsets, parallel edge/weight arrays, in-range neighbor
+    /// ids, no self-overlaps, every weight at least `W_min`, and each row
+    /// sorted by descending weight with ties broken by ascending id (the
+    /// order the hardware's neighbor-selection stage depends on, §IV-B).
+    /// Returns the first violation as a typed [`ValidationError`].
+    ///
+    /// [`OagConfig::build`](crate::OagConfig::build) cannot produce a
+    /// violation; the check exists for *untrusted* OAGs — deserialized
+    /// cache artifacts and fault-injection fixtures.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        validate_offsets("OAG", &self.offsets, self.edges.len())?;
+        if self.edges.len() != self.weights.len() {
+            return Err(ValidationError::WeightCountMismatch {
+                num_edges: self.edges.len(),
+                num_weights: self.weights.len(),
+            });
+        }
+        validate_targets("OAG", &self.edges, self.len())?;
+        for e in 0..self.len() as u32 {
+            let neighbors = self.neighbors(e);
+            let weights = self.weights_of(e);
+            for (pos, (&n, &w)) in neighbors.iter().zip(weights).enumerate() {
+                if n == e {
+                    return Err(ValidationError::SelfOverlap { element: e });
+                }
+                if w < self.w_min {
+                    return Err(ValidationError::WeightBelowThreshold {
+                        element: e,
+                        neighbor: n,
+                        weight: w,
+                        w_min: self.w_min,
+                    });
+                }
+                if pos > 0 {
+                    let ordered =
+                        w < weights[pos - 1] || (w == weights[pos - 1] && n > neighbors[pos - 1]);
+                    if !ordered {
+                        return Err(ValidationError::RowOrderViolation {
+                            element: e,
+                            position: pos,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Resident size in bytes of the three OAG arrays — the extra storage
     /// ChGraph pays over Hygra (Fig. 21(b)).
     pub fn size_bytes(&self) -> usize {
@@ -203,6 +253,56 @@ mod tests {
     fn size_bytes_counts_three_arrays() {
         let oag = fig11_oag();
         assert_eq!(oag.size_bytes(), (5 + 6 + 6) * 4);
+    }
+
+    #[test]
+    fn validate_accepts_built_oag() {
+        let oag = fig11_oag();
+        assert!(oag.validate().is_ok());
+        assert!(oag.restrict_to_range(1..3).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_single_field_corruption() {
+        let base = fig11_oag();
+
+        let mut oag = base.clone();
+        oag.weights[0] = 0;
+        assert!(matches!(
+            oag.validate(),
+            Err(ValidationError::WeightBelowThreshold { weight: 0, w_min: 1, .. })
+        ));
+
+        let mut oag = base.clone();
+        oag.edges[0] = 99;
+        assert!(matches!(
+            oag.validate(),
+            Err(ValidationError::TargetOutOfRange { target: 99, .. })
+        ));
+
+        let mut oag = base.clone();
+        // h1's row is [3 (w=2), 2 (w=1)]; swapping the ids breaks the
+        // descending-weight order contract.
+        let (lo, _) = base.edge_range(1);
+        oag.edges.swap(lo, lo + 1);
+        oag.weights.swap(lo, lo + 1);
+        assert!(matches!(
+            oag.validate(),
+            Err(ValidationError::RowOrderViolation { element: 1, position: 1 })
+        ));
+
+        let mut oag = base.clone();
+        oag.offsets.swap(1, 2);
+        assert!(matches!(oag.validate(), Err(ValidationError::NonMonotoneOffsets { .. })));
+
+        let mut oag = base.clone();
+        oag.weights.pop();
+        assert!(matches!(oag.validate(), Err(ValidationError::WeightCountMismatch { .. })));
+
+        let mut oag = base;
+        let (lo, _) = oag.edge_range(1);
+        oag.edges[lo] = 1;
+        assert!(matches!(oag.validate(), Err(ValidationError::SelfOverlap { element: 1 })));
     }
 
     #[test]

@@ -48,3 +48,4 @@ pub use generate::{
     generate_chains, generate_chains_observed, ChainConfig, ChainObserver, NoopObserver,
 };
 pub use graph::Oag;
+pub use hypergraph::ValidationError;

@@ -14,7 +14,7 @@ use archsim::SystemConfig;
 use chgraph::{
     ChGraphRuntime, GlaRuntime, HatsVRuntime, HygraRuntime, PrefetcherRuntime, RunConfig, Runtime,
 };
-use hyperalgos::{run_workload, Workload};
+use hyperalgos::{self_check, try_run_workload, Workload};
 use hypergraph::datasets::Dataset;
 use hypergraph::{stats, Hypergraph, Side};
 use std::collections::HashMap;
@@ -29,6 +29,13 @@ fn usage() -> ExitCode {
          \x20                 [--threads <n>]  (host threads for OAG construction;\n\
          \x20                                   default: available parallelism, output\n\
          \x20                                   is bit-identical for any value)\n\
+         \x20                 [--validate]     (deep structural checks: input, OAGs,\n\
+         \x20                                   and per-schedule chain-cover proofs)\n\
+         \x20                 [--self-check]   (diff the result against the naive\n\
+         \x20                                   reference implementation)\n\
+         \x20                 [--max-cycles <n>]  (watchdog: fail with a typed error\n\
+         \x20                                      once the simulated cycle budget\n\
+         \x20                                      is exhausted)\n\
          \x20 chgraph-cli stats (--dataset <..> | --input <file.hgr>)\n\
          \x20 chgraph-cli gen --vertices <n> --hyperedges <n> --out <file.hgr> [--seed <n>]"
     );
@@ -37,13 +44,29 @@ fn usage() -> ExitCode {
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut map = HashMap::new();
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        let key = flag.strip_prefix("--")?;
-        let value = it.next()?;
-        map.insert(key.to_string(), value.clone());
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?;
+        // Boolean flags (`--validate`) may appear bare: when the next token
+        // is another flag (or absent), the value defaults to "true".
+        let value = match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                i += 2;
+                v.clone()
+            }
+            _ => {
+                i += 1;
+                "true".to_string()
+            }
+        };
+        map.insert(key.to_string(), value);
     }
     Some(map)
+}
+
+/// `true` when a boolean flag is present (bare or `--flag true`).
+fn flag_on(flags: &HashMap<String, String>, key: &str) -> bool {
+    flags.get(key).map(String::as_str) == Some("true")
 }
 
 fn load_input(flags: &HashMap<String, String>) -> Result<Hypergraph, String> {
@@ -114,7 +137,13 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
     if let Some(n) = flags.get("iters") {
         cfg = cfg.with_max_iterations(n.parse().map_err(|_| "bad --iters")?);
     }
-    if flags.get("partition").map(String::as_str) == Some("true") {
+    if flag_on(&flags, "validate") {
+        cfg = cfg.with_validate(true);
+    }
+    if let Some(n) = flags.get("max-cycles") {
+        cfg = cfg.with_max_cycles(n.parse().map_err(|_| "bad --max-cycles")?);
+    }
+    if flag_on(&flags, "partition") {
         let parts = hypergraph::partition::streaming_partition(&g, cfg.system.num_cores);
         let (reordered, _) = hypergraph::partition::apply_hyperedge_partition(&g, &parts);
         g = reordered;
@@ -126,8 +155,16 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         g.num_hyperedges(),
         g.num_bipartite_edges()
     );
-    let report = run_workload(workload, runtime.as_ref(), &g, &cfg);
-    print!("{report}");
+    if flag_on(&flags, "self-check") {
+        let checked =
+            self_check(workload, runtime.as_ref(), &g, &cfg).map_err(|e| format!("{e}"))?;
+        println!("self-check passed: {} elements match the reference\n", checked.elements_checked);
+        print!("{}", checked.report);
+    } else {
+        let report =
+            try_run_workload(workload, runtime.as_ref(), &g, &cfg).map_err(|e| format!("{e}"))?;
+        print!("{report}");
+    }
     Ok(())
 }
 

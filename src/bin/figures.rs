@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! figures <artifact> [--scale <f>] [--threads <n>] [--cache-dir <dir>] [--no-cache]
+//!         [--self-check] [--validate]
 //!
 //! artifacts: table1 table2 fig2 fig3 fig5 fig7 fig8 fig14 fig15 fig16
 //!            fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 area all
@@ -15,6 +16,12 @@
 //! summary) goes to stderr so stdout stays reproducible. `--cache-dir`
 //! persists preprocessing artifacts (loaded graphs and built OAGs) between
 //! invocations (default `target/preprocess-cache`; `--no-cache` disables).
+//!
+//! `--self-check` diffs every grid execution against the naive reference
+//! implementation, and `--validate` enables deep structural checks (input,
+//! OAGs, per-schedule chain covers). With either guard, a tripped cell is
+//! recorded as a failed cell (retried once, reported on stderr, non-zero
+//! exit) while the rest of the grid completes — guards never abort the run.
 
 use chg_bench::figures::{self, Harness};
 use chg_bench::{PreprocessCache, Scale};
@@ -31,7 +38,8 @@ const ARTIFACTS: &[&str] = &[
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: figures <artifact|all> [--scale <f>] [--threads <n>] [--cache-dir <dir>] [--no-cache]"
+        "usage: figures <artifact|all> [--scale <f>] [--threads <n>] [--cache-dir <dir>] \
+         [--no-cache] [--self-check] [--validate]"
     );
     eprintln!("artifacts: {}", ARTIFACTS.join(" "));
     ExitCode::FAILURE
@@ -103,9 +111,13 @@ fn main() -> ExitCode {
     let mut scale = Scale::FULL;
     let mut threads = default_threads();
     let mut cache_dir = Some(String::from("target/preprocess-cache"));
+    let mut self_check = false;
+    let mut validate = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--self-check" => self_check = true,
+            "--validate" => validate = true,
             "--scale" => {
                 let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
                     return usage();
@@ -133,7 +145,10 @@ fn main() -> ExitCode {
     let Some(artifact) = artifact else {
         return usage();
     };
-    let mut h = Harness::new(scale).with_threads(threads);
+    let mut h = Harness::new(scale).with_threads(threads).with_self_check(self_check);
+    if validate {
+        h.cfg = h.cfg.with_validate(true);
+    }
     if let Some(dir) = cache_dir {
         match PreprocessCache::new(&dir) {
             Ok(cache) => h = h.with_cache(Arc::new(cache)),
