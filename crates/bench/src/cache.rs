@@ -87,6 +87,23 @@ pub fn graph_fingerprint(g: &Hypergraph) -> u64 {
     w.digest()
 }
 
+/// A snapshot of a cache's hit/miss/quarantine counters, split per artifact
+/// kind — the machine-readable complement to [`PreprocessCache::summary`],
+/// consumed by the serving layer's stats endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Graph entries served from disk.
+    pub graph_hits: u64,
+    /// Graph lookups that missed (absent or quarantined).
+    pub graph_misses: u64,
+    /// OAG entries served from disk.
+    pub oag_hits: u64,
+    /// OAG lookups that missed (absent or quarantined).
+    pub oag_misses: u64,
+    /// Corrupt entries quarantined.
+    pub quarantined: u64,
+}
+
 /// A directory of cached preprocessing artifacts with hit/miss accounting.
 pub struct PreprocessCache {
     dir: PathBuf,
@@ -314,6 +331,17 @@ impl PreprocessCache {
     /// Number of corrupt entries quarantined so far.
     pub fn quarantined(&self) -> u64 {
         self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Per-kind counter snapshot (see [`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            graph_hits: self.graph_hits.load(Ordering::Relaxed),
+            graph_misses: self.graph_misses.load(Ordering::Relaxed),
+            oag_hits: self.oag_hits.load(Ordering::Relaxed),
+            oag_misses: self.oag_misses.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+        }
     }
 }
 

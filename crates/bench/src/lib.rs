@@ -23,9 +23,11 @@ pub mod cache;
 #[cfg(any(test, feature = "fault-injection"))]
 pub mod faultutil;
 pub mod figures;
+pub mod hostmeta;
 mod scale;
 mod table;
 
-pub use cache::PreprocessCache;
+pub use cache::{CacheStats, PreprocessCache};
+pub use hostmeta::HostMeta;
 pub use scale::{load_graph_scaled, load_scaled, Scale};
 pub use table::Table;

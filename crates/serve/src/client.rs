@@ -1,0 +1,140 @@
+//! Blocking client for the serve protocol, shared by `chgraph-cli submit`,
+//! `serve-stats`, the load generator, and the end-to-end tests — one codec,
+//! no drift between producers.
+
+use crate::proto::{self, ProtoError, Request, Response, RunRequest, RunResult, StatsReport};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure: transport/protocol trouble, or a server-side typed
+/// error relayed verbatim.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Framing, checksum, or I/O failure.
+    Proto(ProtoError),
+    /// The service rejected the run because its queue was full.
+    Overloaded {
+        /// The server's queue capacity, echoed for diagnostics.
+        queue_capacity: u64,
+    },
+    /// A typed error from the service (`kind` is stable, machine-matchable).
+    Server {
+        /// Stable error kind, e.g. `budget-exceeded` or `bad-request`.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The reply decoded fine but was not the variant this call expects.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Overloaded { queue_capacity } => {
+                write!(f, "server overloaded (queue capacity {queue_capacity})")
+            }
+            ClientError::Server { kind, message } => write!(f, "server error [{kind}]: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response variant: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// One connection to a running `chgraphd`. Requests on a connection are
+/// sequential (send, then block on the reply); open several connections
+/// for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to the service.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Like [`connect`](Client::connect) but retries until the service
+    /// answers a ping or `deadline` elapses — for "daemon just forked"
+    /// startup races in scripts and tests.
+    pub fn connect_ready(
+        addr: impl ToSocketAddrs + Clone,
+        deadline: Duration,
+    ) -> Result<Client, ClientError> {
+        let start = std::time::Instant::now();
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(mut c) => match c.ping() {
+                    Ok(()) => return Ok(c),
+                    Err(e) if start.elapsed() >= deadline => return Err(e),
+                    Err(_) => {}
+                },
+                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(_) => {}
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Raw request/response exchange.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        proto::send(&mut self.stream, request)?;
+        Ok(proto::recv(&mut self.stream)?)
+    }
+
+    /// Submits a run and waits for its result.
+    pub fn run(&mut self, request: RunRequest) -> Result<RunResult, ClientError> {
+        match self.roundtrip(&Request::Run(request))? {
+            Response::Run(result) => Ok(result),
+            Response::Overloaded { queue_capacity } => {
+                Err(ClientError::Overloaded { queue_capacity })
+            }
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            _ => Err(ClientError::Unexpected("expected run result")),
+        }
+    }
+
+    /// Fetches the service stats snapshot.
+    pub fn stats(&mut self) -> Result<StatsReport, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            _ => Err(ClientError::Unexpected("expected stats")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("expected pong")),
+        }
+    }
+
+    /// Asks the service to drain and exit. Returns once the service has
+    /// acknowledged (in-flight work may still be finishing).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            _ => Err(ClientError::Unexpected("expected shutdown ack")),
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! The daemon core: a bounded work queue, a scoped worker pool, a
+//! thread-per-connection accept loop, and graceful shutdown.
+//!
+//! # Request flow
+//!
+//! ```text
+//! client ──frame──▶ handler thread ──try_push──▶ bounded queue ──▶ worker pool
+//!        ◀─frame──            ▲                        │  (N threads, executes
+//!                             └──── mpsc reply ◀───────┘   on the ArtifactStore)
+//! ```
+//!
+//! `Stats`/`Ping`/`Shutdown` are answered inline by the handler; only `Run`
+//! requests pass through the queue. When the queue is full the handler
+//! replies [`Response::Overloaded`] immediately — explicit backpressure
+//! instead of unbounded buffering or a hung client.
+//!
+//! # Shutdown
+//!
+//! Shutdown (a `Shutdown` request, [`ShutdownHandle::shutdown`], or the
+//! daemon's SIGINT bridge) is a drain, not an abort: the accept loop stops
+//! taking connections, handlers reject *new* run requests with a typed
+//! `shutting-down` error, workers finish everything already queued or
+//! executing, every reply is delivered, and [`Server::run`] returns a final
+//! [`StatsReport`]. Per-request [`WatchdogConfig`] budgets bound how long a
+//! drain can take: a runaway simulation trips its budget and returns a
+//! typed error instead of wedging a worker forever.
+
+use crate::lru::{ArtifactStore, Fetch};
+use crate::proto::{
+    self, error_response, run_result_from_report, ArtifactSource, DiskCacheCounters, Request,
+    Response, RunRequest, StatsReport,
+};
+use crate::stats::{Counters, LatencyHistogram};
+use chg_bench::{PreprocessCache, Scale};
+use chgraph::{
+    ChGraphRuntime, ExecutionReport, GlaRuntime, HatsVRuntime, HygraRuntime, PrefetcherRuntime,
+    RunConfig, Runtime, WatchdogConfig,
+};
+use hyperalgos::{self_check_prepared, try_run_workload_prepared, Workload};
+use hypergraph::datasets::Dataset;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Read budget for one frame once its first byte has arrived — bounds how
+/// long a stalled client can pin a handler thread.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Service configuration.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing run requests.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue rejects with `overloaded`.
+    pub queue_capacity: usize,
+    /// In-memory LRU capacity for loaded graphs.
+    pub graph_lru: usize,
+    /// In-memory LRU capacity for prepared OAG pairs.
+    pub oag_lru: usize,
+    /// On-disk preprocess cache directory (`None` disables).
+    pub cache_dir: Option<String>,
+    /// Watchdog budgets applied to every request **in addition to** its own
+    /// (the stricter of the two wins per budget) — the service's runaway
+    /// protection.
+    pub default_watchdog: WatchdogConfig,
+    /// Host threads for OAG construction inside a worker.
+    pub oag_build_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            graph_lru: 8,
+            oag_lru: 8,
+            cache_dir: None,
+            default_watchdog: WatchdogConfig::default(),
+            oag_build_threads: 1,
+        }
+    }
+}
+
+/// Why [`BoundedQueue::try_push`] refused a job.
+enum PushError {
+    /// The queue is at capacity — reply `overloaded`.
+    Full,
+    /// The service is draining — reply `shutting-down`.
+    Draining,
+}
+
+/// One queued run: the request plus the channel its handler waits on.
+struct QueuedRun {
+    request: RunRequest,
+    enqueued_at: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// The bounded request queue: `Mutex<VecDeque>` + `Condvar`. `try_push`
+/// never blocks (backpressure is a rejection, not a wait); `pop` blocks
+/// until work arrives or shutdown has drained the queue.
+struct BoundedQueue {
+    inner: Mutex<VecDeque<QueuedRun>>,
+    capacity: usize,
+    available: Condvar,
+    draining: AtomicBool,
+}
+
+impl BoundedQueue {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            available: Condvar::new(),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues unless full or draining; on `Err` the job (and its reply
+    /// sender) is dropped and the caller answers the client directly.
+    fn try_push(&self, job: QueuedRun) -> Result<(), PushError> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(PushError::Draining);
+        }
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        q.push_back(job);
+        drop(q);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once draining *and* empty.
+    fn pop(&self) -> Option<QueuedRun> {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if self.draining.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(q, POLL_INTERVAL)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+
+    /// Stops accepting pushes; wakes all poppers so they can drain and exit.
+    fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+}
+
+/// Cloneable handle that triggers graceful shutdown from another thread
+/// (the daemon's SIGINT bridge, or tests).
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Begins graceful shutdown: drain in-flight requests, then return.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The long-lived query service. Construct with [`Server::bind`], then
+/// [`Server::run`] blocks until shutdown and returns the final stats.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    stop: Arc<AtomicBool>,
+}
+
+/// Shared state visible to handlers and workers.
+struct Shared {
+    store: ArtifactStore,
+    queue: BoundedQueue,
+    counters: Counters,
+    prepare_latency: LatencyHistogram,
+    execute_latency: LatencyHistogram,
+    total_latency: LatencyHistogram,
+    in_flight: AtomicU64,
+    started: Instant,
+    cfg: ServeConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Shared {
+    fn stats(&self) -> StatsReport {
+        let disk = match self.store.disk() {
+            Some(cache) => {
+                let s = cache.stats();
+                DiskCacheCounters {
+                    enabled: true,
+                    graph_hits: s.graph_hits,
+                    graph_misses: s.graph_misses,
+                    oag_hits: s.oag_hits,
+                    oag_misses: s.oag_misses,
+                    quarantined: s.quarantined,
+                }
+            }
+            None => DiskCacheCounters::default(),
+        };
+        StatsReport {
+            uptime_secs: self.started.elapsed().as_secs(),
+            workers: self.cfg.workers as u64,
+            queue_capacity: self.cfg.queue_capacity as u64,
+            queue_depth: self.queue.depth() as u64 + self.in_flight.load(Ordering::Relaxed),
+            requests: self.counters.snapshot(),
+            artifacts: self.store.counters(),
+            disk_cache: disk,
+            prepare_latency: self.prepare_latency.summary(),
+            execute_latency: self.execute_latency.summary(),
+            total_latency: self.total_latency.summary(),
+        }
+    }
+}
+
+impl Server {
+    /// Binds the service socket (port 0 picks an ephemeral port; see
+    /// [`local_addr`](Server::local_addr)).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server { listener, cfg, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that triggers graceful shutdown.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(self.stop.clone())
+    }
+
+    /// Runs the service until shutdown; returns the final stats snapshot.
+    ///
+    /// Worker and handler threads are scoped, so returning proves every
+    /// in-flight request was drained and replied to.
+    pub fn run(self) -> io::Result<StatsReport> {
+        let disk = match &self.cfg.cache_dir {
+            Some(dir) => match PreprocessCache::new(dir) {
+                Ok(cache) => Some(Arc::new(cache)),
+                Err(e) => {
+                    eprintln!("[chgraphd: cache disabled: cannot open {dir}: {e}]");
+                    None
+                }
+            },
+            None => None,
+        };
+        let shared = Shared {
+            store: ArtifactStore::new(self.cfg.graph_lru, self.cfg.oag_lru, disk),
+            queue: BoundedQueue::new(self.cfg.queue_capacity),
+            counters: Counters::new(),
+            prepare_latency: LatencyHistogram::new(),
+            execute_latency: LatencyHistogram::new(),
+            total_latency: LatencyHistogram::new(),
+            in_flight: AtomicU64::new(0),
+            started: Instant::now(),
+            cfg: self.cfg.clone(),
+            stop: self.stop.clone(),
+        };
+        let shared = &shared;
+        std::thread::scope(|scope| {
+            for _ in 0..self.cfg.workers.max(1) {
+                scope.spawn(move || worker_loop(shared));
+            }
+            // Accept loop: nonblocking accept polled against the stop flag.
+            while !shared.stop.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        scope.spawn(move || handle_connection(stream, shared));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) => {
+                        eprintln!("[chgraphd: accept error: {e}]");
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                }
+            }
+            // Drain: no new pushes; workers finish queued + in-flight jobs.
+            shared.queue.drain();
+        });
+        Ok(shared.stats())
+    }
+}
+
+/// Worker: pops queued runs until the queue reports drained-and-empty.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        let response = execute_isolated(&job.request, shared);
+        match &response {
+            Response::Run(_) => shared.counters.on_ok(),
+            _ => shared.counters.on_failed(),
+        }
+        shared.total_latency.record(job.enqueued_at.elapsed().as_micros() as u64);
+        // A dropped receiver means the client hung up; nothing to do.
+        let _ = job.reply.send(response);
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Executes one run with panic isolation: a simulator bug becomes a typed
+/// `internal-panic` error on this request, never a dead worker.
+fn execute_isolated(request: &RunRequest, shared: &Shared) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| execute_run(request, shared))) {
+        Ok(response) => response,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Response::Error { kind: "internal-panic".into(), message }
+        }
+    }
+}
+
+fn pick_workload(name: &str) -> Option<Workload> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "bfs" => Workload::Bfs,
+        "pr" | "pagerank" => Workload::Pr,
+        "mis" => Workload::Mis,
+        "bc" => Workload::Bc,
+        "cc" => Workload::Cc,
+        "kcore" | "k-core" => Workload::KCore,
+        "sssp" => Workload::Sssp,
+        "adsorption" => Workload::Adsorption,
+        _ => return None,
+    })
+}
+
+fn pick_runtime(name: &str) -> Option<Box<dyn Runtime>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "hygra" => Box::new(HygraRuntime),
+        "gla" => Box::new(GlaRuntime),
+        "chgraph" => Box::new(ChGraphRuntime::new()),
+        "hcg" => Box::new(ChGraphRuntime::hcg_only()),
+        "hats" | "hats-v" => Box::new(HatsVRuntime),
+        "prefetcher" => Box::new(PrefetcherRuntime),
+        _ => return None,
+    })
+}
+
+/// Whether a runtime consumes [`chgraph::PreparedOags`].
+fn uses_oags(name: &str) -> bool {
+    matches!(name.to_ascii_lowercase().as_str(), "gla" | "chgraph" | "hcg")
+}
+
+/// Per-budget minimum of the service default and the request's own budgets
+/// — a client cannot opt out of the service's runaway protection, only
+/// tighten it.
+fn merged_watchdog(service: WatchdogConfig, request: &RunRequest) -> WatchdogConfig {
+    let min_opt = |a: Option<u64>, b: Option<u64>| match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let wall = match (service.max_wall, request.max_wall_ms.map(Duration::from_millis)) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    WatchdogConfig {
+        max_cycles: min_opt(service.max_cycles, request.max_cycles),
+        max_wall: wall,
+        max_stalled_iterations: service.max_stalled_iterations,
+    }
+}
+
+/// Builds the library-level [`RunConfig`] for a request; `Err` is a
+/// bad-request message.
+fn build_run_config(request: &RunRequest, shared: &Shared) -> Result<RunConfig, String> {
+    let mut cfg = RunConfig::new().with_oag_build_threads(shared.cfg.oag_build_threads);
+    if let Some(cores) = request.cores {
+        if cores == 0 {
+            return Err("cores must be >= 1".into());
+        }
+        cfg = cfg.with_system(archsim::SystemConfig::scaled(cores));
+    }
+    if let Some(w) = request.wmin {
+        cfg = cfg.with_oag(oag::OagConfig::new().with_w_min(w));
+    }
+    if let Some(d) = request.dmax {
+        cfg = cfg.with_chain(oag::ChainConfig::new(d));
+    }
+    if let Some(n) = request.iters {
+        cfg = cfg.with_max_iterations(n);
+    }
+    cfg.validate = request.validate;
+    cfg.watchdog = merged_watchdog(shared.cfg.default_watchdog, request);
+    Ok(cfg)
+}
+
+/// The uninsulated run path (inside `catch_unwind`).
+fn execute_run(request: &RunRequest, shared: &Shared) -> Response {
+    let bad = |msg: String| Response::Error { kind: "bad-request".into(), message: msg };
+    let Some(workload) = pick_workload(&request.workload) else {
+        return bad(format!("unknown workload {:?}", request.workload));
+    };
+    let Some(runtime) = pick_runtime(&request.runtime) else {
+        return bad(format!("unknown runtime {:?}", request.runtime));
+    };
+    let Some(dataset) =
+        Dataset::ALL.into_iter().find(|d| d.abbrev().eq_ignore_ascii_case(&request.dataset))
+    else {
+        return bad(format!("unknown dataset {:?}", request.dataset));
+    };
+    let cfg = match build_run_config(request, shared) {
+        Ok(cfg) => cfg,
+        Err(msg) => return bad(msg),
+    };
+    let scale = Scale(request.scale);
+
+    // Phase 1: artifact preparation (LRU → disk cache → build).
+    let t_prepare = Instant::now();
+    let (graph, prepared, fetch) = if uses_oags(&request.runtime) {
+        let (g, p, fetch) = shared.store.prepared(dataset, scale, &cfg);
+        (g, Some(p), fetch)
+    } else {
+        let (g, fetch) = shared.store.graph(dataset, scale);
+        (g, None, fetch)
+    };
+    let prepare_micros = t_prepare.elapsed().as_micros() as u64;
+    shared.prepare_latency.record(prepare_micros);
+    let artifact_source = match (&prepared, fetch) {
+        (None, _) => ArtifactSource::NotApplicable,
+        (Some(_), Fetch::Hit) => ArtifactSource::LruHit,
+        (Some(_), Fetch::Coalesced) => ArtifactSource::Coalesced,
+        (Some(_), Fetch::Miss) => ArtifactSource::Built,
+    };
+
+    // Phase 2: execution (`repeat` identical runs; the last one replies).
+    let t_execute = Instant::now();
+    let mut last: Option<Result<ExecutionReport, Response>> = None;
+    for _ in 0..request.repeat.max(1) {
+        let outcome = if request.self_check {
+            match self_check_prepared(workload, runtime.as_ref(), &graph, &cfg, prepared.as_deref())
+            {
+                Ok(checked) => Ok(checked.report),
+                Err(e) => Err(Response::Error {
+                    kind: "self-check-failed".into(),
+                    message: e.to_string(),
+                }),
+            }
+        } else {
+            match try_run_workload_prepared(
+                workload,
+                runtime.as_ref(),
+                &graph,
+                &cfg,
+                prepared.as_deref(),
+            ) {
+                Ok(report) => Ok(report),
+                Err(e) => Err(error_response(&e)),
+            }
+        };
+        let failed = outcome.is_err();
+        last = Some(outcome);
+        if failed {
+            break;
+        }
+    }
+    let execute_micros = t_execute.elapsed().as_micros() as u64;
+    shared.execute_latency.record(execute_micros);
+    // invariant: repeat >= 1, so the loop ran at least once.
+    match last.expect("at least one execution") {
+        Ok(report) => Response::Run(run_result_from_report(
+            &report,
+            request.self_check,
+            artifact_source,
+            prepare_micros,
+            execute_micros,
+        )),
+        Err(resp) => resp,
+    }
+}
+
+/// Handles one client connection: a sequence of request frames until EOF,
+/// protocol error, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    loop {
+        // Wait for the next frame's first byte without consuming it, so a
+        // shutdown between requests closes idle connections promptly and a
+        // read timeout can never tear a half-received frame.
+        match wait_for_data(&stream, shared) {
+            WaitOutcome::Ready => {}
+            WaitOutcome::Closed | WaitOutcome::Shutdown => return,
+        }
+        if stream.set_read_timeout(Some(FRAME_READ_TIMEOUT)).is_err() {
+            return;
+        }
+        let request: Request = match proto::recv(&mut stream) {
+            Ok(req) => req,
+            Err(proto::ProtoError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return; // clean EOF between frames
+            }
+            Err(e) => {
+                shared.counters.on_protocol_error();
+                let resp = Response::Error { kind: "protocol".into(), message: e.to_string() };
+                let _ = proto::send(&mut stream, &resp);
+                return;
+            }
+        };
+        shared.counters.on_received();
+        let done = matches!(request, Request::Shutdown);
+        let response = dispatch(request, shared);
+        if proto::send(&mut stream, &response).is_err() || done {
+            return;
+        }
+    }
+}
+
+enum WaitOutcome {
+    Ready,
+    Closed,
+    Shutdown,
+}
+
+/// Polls `peek` until a byte is available, the peer closes, or shutdown is
+/// requested.
+fn wait_for_data(stream: &TcpStream, shared: &Shared) -> WaitOutcome {
+    let mut byte = [0u8; 1];
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return WaitOutcome::Closed;
+    }
+    loop {
+        match stream.peek(&mut byte) {
+            Ok(0) => return WaitOutcome::Closed,
+            Ok(_) => return WaitOutcome::Ready,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return WaitOutcome::Shutdown;
+                }
+            }
+            Err(_) => return WaitOutcome::Closed,
+        }
+    }
+}
+
+/// Routes one request: `Run` through the bounded queue, everything else
+/// answered inline.
+fn dispatch(request: Request, shared: &Shared) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => Response::Stats(shared.stats()),
+        Request::Shutdown => {
+            shared.stop.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+        Request::Run(run) => {
+            if shared.stop.load(Ordering::SeqCst) {
+                return Response::Error {
+                    kind: "shutting-down".into(),
+                    message: "service is draining; not accepting new runs".into(),
+                };
+            }
+            let (tx, rx) = mpsc::channel();
+            let job = QueuedRun { request: run, enqueued_at: Instant::now(), reply: tx };
+            match shared.queue.try_push(job) {
+                Ok(()) => match rx.recv() {
+                    Ok(response) => response,
+                    Err(_) => Response::Error {
+                        kind: "internal-panic".into(),
+                        message: "worker dropped the reply channel".into(),
+                    },
+                },
+                Err(PushError::Draining) => Response::Error {
+                    kind: "shutting-down".into(),
+                    message: "service is draining; not accepting new runs".into(),
+                },
+                Err(PushError::Full) => {
+                    shared.counters.on_rejected();
+                    Response::Overloaded { queue_capacity: shared.cfg.queue_capacity as u64 }
+                }
+            }
+        }
+    }
+}

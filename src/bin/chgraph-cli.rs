@@ -4,13 +4,20 @@
 //! ```text
 //! chgraph-cli run --workload pr --runtime chgraph --dataset WEB
 //! chgraph-cli run --workload bfs --runtime hygra --input my.hgr --cores 8
+//! chgraph-cli run --workload pr --runtime chgraph --dataset LJ --json
 //! chgraph-cli stats --dataset LJ
 //! chgraph-cli gen --vertices 10000 --hyperedges 4000 --out my.hgr
+//! chgraph-cli submit --addr 127.0.0.1:7411 --workload pr --runtime chgraph --dataset LJ
+//! chgraph-cli serve-stats --addr 127.0.0.1:7411
 //! ```
 //!
 //! Input files use the hMETIS-like text format of `hypergraph::io`.
+//! `submit` and `serve-stats` talk to a running `chgraphd`; `run --json`
+//! emits the same [`chg_serve::RunResult`] schema the daemon replies with,
+//! so scripted consumers are agnostic to where a run executed.
 
 use archsim::SystemConfig;
+use chg_serve::WireMessage;
 use chgraph::{
     ChGraphRuntime, GlaRuntime, HatsVRuntime, HygraRuntime, PrefetcherRuntime, RunConfig, Runtime,
 };
@@ -36,8 +43,15 @@ fn usage() -> ExitCode {
          \x20                 [--max-cycles <n>]  (watchdog: fail with a typed error\n\
          \x20                                      once the simulated cycle budget\n\
          \x20                                      is exhausted)\n\
+         \x20                 [--json]         (emit the chg_serve RunResult schema)\n\
          \x20 chgraph-cli stats (--dataset <..> | --input <file.hgr>)\n\
-         \x20 chgraph-cli gen --vertices <n> --hyperedges <n> --out <file.hgr> [--seed <n>]"
+         \x20 chgraph-cli gen --vertices <n> --hyperedges <n> --out <file.hgr> [--seed <n>]\n\
+         \x20 chgraph-cli submit --addr <host:port> --workload <..> --runtime <..>\n\
+         \x20                 --dataset <..> [--scale <f>] [--cores <n>] [--dmax <n>]\n\
+         \x20                 [--wmin <n>] [--iters <n>] [--max-cycles <n>]\n\
+         \x20                 [--max-wall-ms <n>] [--repeat <n>] [--validate]\n\
+         \x20                 [--self-check] [--json]\n\
+         \x20 chgraph-cli serve-stats --addr <host:port> [--json]"
     );
     ExitCode::FAILURE
 }
@@ -149,21 +163,142 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         g = reordered;
         println!("applied overlap-aware partitioning into {} parts", cfg.system.num_cores);
     }
-    println!(
-        "input: {} vertices, {} hyperedges, {} bipartite edges\n",
-        g.num_vertices(),
-        g.num_hyperedges(),
-        g.num_bipartite_edges()
-    );
-    if flag_on(&flags, "self-check") {
+    let json = flag_on(&flags, "json");
+    if !json {
+        println!(
+            "input: {} vertices, {} hyperedges, {} bipartite edges\n",
+            g.num_vertices(),
+            g.num_hyperedges(),
+            g.num_bipartite_edges()
+        );
+    }
+    let self_checked = flag_on(&flags, "self-check");
+    let started = std::time::Instant::now();
+    let report = if self_checked {
         let checked =
             self_check(workload, runtime.as_ref(), &g, &cfg).map_err(|e| format!("{e}"))?;
-        println!("self-check passed: {} elements match the reference\n", checked.elements_checked);
-        print!("{}", checked.report);
+        if !json {
+            println!(
+                "self-check passed: {} elements match the reference\n",
+                checked.elements_checked
+            );
+        }
+        checked.report
     } else {
-        let report =
-            try_run_workload(workload, runtime.as_ref(), &g, &cfg).map_err(|e| format!("{e}"))?;
+        try_run_workload(workload, runtime.as_ref(), &g, &cfg).map_err(|e| format!("{e}"))?
+    };
+    if json {
+        // The same RunResult schema a daemon reply carries; a local run has
+        // no artifact store, and its preparation happens inside execution.
+        let result = chg_serve::run_result_from_report(
+            &report,
+            self_checked,
+            chg_serve::ArtifactSource::NotApplicable,
+            0,
+            started.elapsed().as_micros() as u64,
+        );
+        print!("{}", result.to_json().pretty());
+    } else {
         print!("{report}");
+    }
+    Ok(())
+}
+
+fn cmd_submit(flags: HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7411");
+    let workload = flags.get("workload").ok_or("missing --workload")?;
+    let runtime = flags.get("runtime").ok_or("missing --runtime")?;
+    let dataset = flags.get("dataset").ok_or("missing --dataset")?;
+    let mut req = chg_serve::RunRequest::new(workload.clone(), runtime.clone(), dataset.clone());
+    if let Some(v) = flags.get("scale") {
+        req.scale = v.parse().map_err(|_| "bad --scale")?;
+    }
+    if let Some(v) = flags.get("cores") {
+        req.cores = Some(v.parse().map_err(|_| "bad --cores")?);
+    }
+    if let Some(v) = flags.get("wmin") {
+        req.wmin = Some(v.parse().map_err(|_| "bad --wmin")?);
+    }
+    if let Some(v) = flags.get("dmax") {
+        req.dmax = Some(v.parse().map_err(|_| "bad --dmax")?);
+    }
+    if let Some(v) = flags.get("iters") {
+        req.iters = Some(v.parse().map_err(|_| "bad --iters")?);
+    }
+    if let Some(v) = flags.get("max-cycles") {
+        req.max_cycles = Some(v.parse().map_err(|_| "bad --max-cycles")?);
+    }
+    if let Some(v) = flags.get("max-wall-ms") {
+        req.max_wall_ms = Some(v.parse().map_err(|_| "bad --max-wall-ms")?);
+    }
+    if let Some(v) = flags.get("repeat") {
+        req.repeat = v.parse().map_err(|_| "bad --repeat")?;
+    }
+    req.self_check = flag_on(&flags, "self-check");
+    req.validate = flag_on(&flags, "validate");
+    let mut client =
+        chg_serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let result = client.run(req).map_err(|e| format!("{e}"))?;
+    if flag_on(&flags, "json") {
+        print!("{}", result.to_json().pretty());
+    } else {
+        println!("runtime:          {}", result.runtime);
+        println!("algorithm:        {}", result.algorithm);
+        println!("iterations:       {}", result.iterations);
+        println!("cycles:           {}", result.cycles);
+        println!("dram accesses:    {}", result.dram_accesses);
+        println!("fingerprint:      {}", result.fingerprint);
+        println!("artifact source:  {}", result.artifact_source.as_str());
+        println!("self-checked:     {}", result.self_checked);
+        println!("prepare latency:  {} us", result.prepare_micros);
+        println!("execute latency:  {} us", result.execute_micros);
+    }
+    Ok(())
+}
+
+fn cmd_serve_stats(flags: HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7411");
+    let mut client =
+        chg_serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let stats = client.stats().map_err(|e| format!("{e}"))?;
+    if flag_on(&flags, "json") {
+        print!("{}", stats.to_json().pretty());
+        return Ok(());
+    }
+    println!("uptime:          {} s", stats.uptime_secs);
+    println!("workers:         {}", stats.workers);
+    println!(
+        "queue:           {} in flight / {} capacity",
+        stats.queue_depth, stats.queue_capacity
+    );
+    let r = &stats.requests;
+    println!(
+        "requests:        {} received ({} ok, {} failed, {} overloaded, {} protocol errors)",
+        r.received, r.ok, r.failed, r.rejected_overload, r.protocol_errors
+    );
+    let a = &stats.artifacts;
+    println!(
+        "artifact LRU:    graphs {} hit / {} miss, oags {} hit / {} miss, {} coalesced, {} evicted",
+        a.graph_hits, a.graph_misses, a.oag_hits, a.oag_misses, a.coalesced, a.evictions
+    );
+    let d = &stats.disk_cache;
+    if d.enabled {
+        println!(
+            "disk cache:      graphs {} hit / {} miss, oags {} hit / {} miss, {} quarantined",
+            d.graph_hits, d.graph_misses, d.oag_hits, d.oag_misses, d.quarantined
+        );
+    } else {
+        println!("disk cache:      disabled");
+    }
+    for (name, l) in [
+        ("prepare", &stats.prepare_latency),
+        ("execute", &stats.execute_latency),
+        ("total", &stats.total_latency),
+    ] {
+        println!(
+            "{name:<8} latency: p50 {} / p95 {} / p99 {} / max {} us ({} samples)",
+            l.p50_micros, l.p95_micros, l.p99_micros, l.max_micros, l.count
+        );
     }
     Ok(())
 }
@@ -217,6 +352,8 @@ fn main() -> ExitCode {
         "run" => Some(cmd_run(flags)),
         "stats" => Some(cmd_stats(flags)),
         "gen" => Some(cmd_gen(flags)),
+        "submit" => Some(cmd_submit(flags)),
+        "serve-stats" => Some(cmd_serve_stats(flags)),
         _ => None,
     });
     match result {

@@ -1,0 +1,260 @@
+//! Load generator for `chgraphd`, emitting `BENCH_serve.json`.
+//!
+//! ```text
+//! serve-bench --clients 4 --requests 32 --scale 0.05 --out BENCH_serve.json
+//! serve-bench --addr 127.0.0.1:7411 ...   (drive an external daemon instead)
+//! ```
+//!
+//! By default it hosts the service in-process on an ephemeral port (so the
+//! record is reproducible with one command), drives it with concurrent
+//! client connections cycling through a workload × runtime mix, and writes
+//! throughput plus client-observed p50/p95/p99 latency — alongside the
+//! server's own stats snapshot and the host metadata that makes the record
+//! interpretable later ([`chg_bench::HostMeta`]).
+//!
+//! Latency percentiles here are exact (client-side, sorted samples), unlike
+//! the server's ≤2× log-bucketed histogram; the JSON carries both so the
+//! two views can be cross-checked.
+
+use chg_bench::HostMeta;
+use chg_serve::json::Json;
+use chg_serve::{Client, RunRequest, ServeConfig, Server, WireMessage};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// The request mix: 2 algorithms × 2 runtimes, per the CI smoke matrix.
+const MIX: [(&str, &str); 4] =
+    [("pr", "chgraph"), ("pr", "hygra"), ("bfs", "chgraph"), ("bfs", "hygra")];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  serve-bench [--addr <host:port>]  (default: in-process server, ephemeral port)\n\
+         \x20            [--clients <n>]      (concurrent connections, default 4)\n\
+         \x20            [--requests <n>]     (requests per client, default 24)\n\
+         \x20            [--dataset <abbrev>] (default LJ)\n\
+         \x20            [--scale <f>]        (dataset scale, default 0.05)\n\
+         \x20            [--workers <n>]      (in-process server workers, default 2)\n\
+         \x20            [--out <file>]       (default BENCH_serve.json)"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?;
+        let value = args.get(i + 1)?.clone();
+        map.insert(key.to_string(), value);
+        i += 2;
+    }
+    Some(map)
+}
+
+/// Exact client-side percentile: nearest-rank on sorted micros.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct ClientOutcome {
+    latencies_micros: Vec<u64>,
+    errors: usize,
+}
+
+/// One client connection issuing its share of the mix sequentially.
+fn drive_client(
+    addr: std::net::SocketAddr,
+    client_idx: usize,
+    requests: usize,
+    dataset: &str,
+    scale: f64,
+) -> ClientOutcome {
+    let mut outcome = ClientOutcome { latencies_micros: Vec::new(), errors: 0 };
+    let mut client = match Client::connect_ready(addr, Duration::from_secs(10)) {
+        Ok(c) => c,
+        Err(_) => {
+            outcome.errors = requests;
+            return outcome;
+        }
+    };
+    for i in 0..requests {
+        let (workload, runtime) = MIX[(client_idx + i) % MIX.len()];
+        let mut req = RunRequest::new(workload, runtime, dataset);
+        req.scale = scale;
+        req.iters = Some(4);
+        let start = Instant::now();
+        match client.run(req) {
+            Ok(_) => outcome.latencies_micros.push(start.elapsed().as_micros() as u64),
+            Err(_) => outcome.errors += 1,
+        }
+    }
+    outcome
+}
+
+fn run(flags: HashMap<String, String>) -> Result<(), String> {
+    let get_num = |key: &str, default: usize| -> Result<usize, String> {
+        match flags.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("bad --{key}")),
+            None => Ok(default),
+        }
+    };
+    let clients = get_num("clients", 4)?.max(1);
+    let requests = get_num("requests", 24)?.max(1);
+    let dataset = flags.get("dataset").cloned().unwrap_or_else(|| "LJ".to_string());
+    let scale: f64 =
+        flags.get("scale").map_or(Ok(0.05), |v| v.parse().map_err(|_| "bad --scale"))?;
+    let out_path = flags.get("out").cloned().unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    // Either drive an external daemon or host the service in-process.
+    let (addr, in_process) = match flags.get("addr") {
+        Some(a) => {
+            let addr = a
+                .parse::<std::net::SocketAddr>()
+                .map_err(|_| format!("bad --addr {a:?} (need host:port)"))?;
+            (addr, None)
+        }
+        None => {
+            let cfg = ServeConfig {
+                workers: get_num("workers", 2)?.max(1),
+                queue_capacity: (clients * 2).max(16),
+                ..ServeConfig::default()
+            };
+            let server =
+                Server::bind("127.0.0.1:0", cfg).map_err(|e| format!("bind ephemeral: {e}"))?;
+            let addr = server.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+            (addr, Some(std::thread::spawn(move || server.run())))
+        }
+    };
+
+    // Warmup: populate the artifact LRU so the measured window reports
+    // steady-state (served-from-memory) latency, which is the quantity a
+    // resident service exists to provide.
+    {
+        let mut warm = Client::connect_ready(addr, Duration::from_secs(10))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        for (workload, runtime) in MIX {
+            let mut req = RunRequest::new(workload, runtime, dataset.as_str());
+            req.scale = scale;
+            req.iters = Some(4);
+            warm.run(req).map_err(|e| format!("warmup {workload}/{runtime}: {e}"))?;
+        }
+    }
+
+    eprintln!(
+        "serve-bench: {clients} clients x {requests} requests, dataset {dataset} @ {scale}, {addr}"
+    );
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|idx| {
+                let dataset = dataset.as_str();
+                s.spawn(move || drive_client(addr, idx, requests, dataset, scale))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<u64> =
+        outcomes.iter().flat_map(|o| o.latencies_micros.clone()).collect();
+    latencies.sort_unstable();
+    let errors: usize = outcomes.iter().map(|o| o.errors).sum();
+    let completed = latencies.len();
+    let throughput = completed as f64 / elapsed.as_secs_f64();
+
+    // Final server-side stats, then (if we own it) drain and join.
+    let mut stats_client =
+        Client::connect_ready(addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+    let stats = stats_client.stats().map_err(|e| format!("stats: {e}"))?;
+    if let Some(handle) = in_process {
+        stats_client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        handle
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?
+            .map_err(|e| format!("server: {e}"))?;
+    }
+
+    let host = HostMeta::collect();
+    let doc = Json::obj(vec![
+        (
+            "description",
+            Json::Str(
+                "Steady-state load test of chgraphd: concurrent clients cycling a 2-workload x \
+                 2-runtime mix against a warmed prepared-artifact LRU. Latency percentiles are \
+                 exact client-observed round-trip times; `server_stats` is the daemon's own \
+                 snapshot (log2-bucketed latency, <=2x resolution) for cross-checking."
+                    .into(),
+            ),
+        ),
+        ("command", Json::Str(format!(
+            "cargo run --release --bin serve-bench -- --clients {clients} --requests {requests} --dataset {dataset} --scale {scale}"
+        ))),
+        (
+            "host",
+            Json::obj(vec![
+                ("cpu", Json::Str(host.cpu)),
+                ("available_cores", Json::U64(host.available_cores as u64)),
+                ("os", Json::Str(host.os)),
+                ("arch", Json::Str(host.arch)),
+                ("unix_timestamp", Json::U64(host.unix_timestamp)),
+                ("timestamp_source", Json::Str(host.timestamp_source)),
+            ]),
+        ),
+        (
+            "load",
+            Json::obj(vec![
+                ("clients", Json::U64(clients as u64)),
+                ("requests_per_client", Json::U64(requests as u64)),
+                ("dataset", Json::Str(dataset.clone())),
+                ("scale", Json::F64(scale)),
+                (
+                    "mix",
+                    Json::Arr(
+                        MIX.iter()
+                            .map(|(w, r)| Json::Str(format!("{w}/{r}")))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        (
+            "results",
+            Json::obj(vec![
+                ("completed", Json::U64(completed as u64)),
+                ("errors", Json::U64(errors as u64)),
+                ("wall_seconds", Json::F64(elapsed.as_secs_f64())),
+                ("throughput_rps", Json::F64(throughput)),
+                ("p50_micros", Json::U64(percentile(&latencies, 0.50))),
+                ("p95_micros", Json::U64(percentile(&latencies, 0.95))),
+                ("p99_micros", Json::U64(percentile(&latencies, 0.99))),
+                ("max_micros", Json::U64(latencies.last().copied().unwrap_or(0))),
+            ]),
+        ),
+        ("server_stats", stats.to_json()),
+    ]);
+    std::fs::write(&out_path, doc.pretty()).map_err(|e| format!("write {out_path}: {e}"))?;
+    eprintln!(
+        "serve-bench: {completed} ok / {errors} err in {:.2}s ({throughput:.1} req/s) -> {out_path}",
+        elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(flags) = parse_flags(&args) else {
+        return usage();
+    };
+    match run(flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

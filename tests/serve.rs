@@ -1,0 +1,351 @@
+//! End-to-end tests of the serving layer: protocol round-trips (including
+//! fault-injected frames), artifact-LRU behavior, result identity between
+//! the daemon path and direct library execution, backpressure, and
+//! graceful drain. The hard guarantees from DESIGN.md §"Serving layer":
+//!
+//! - a second identical request is served from the artifact LRU (counter
+//!   increments, no rebuild),
+//! - a served result is byte-identical to direct library execution,
+//! - a full queue yields a structured `overloaded` rejection, not a hang,
+//! - shutdown drains in-flight requests and replies to all of them.
+
+use chg_bench::faultutil::{Fault, FaultReader};
+use chg_serve::proto::{self, fingerprint_report};
+use chg_serve::{
+    Client, ClientError, ProtoError, Request, Response, RunRequest, ServeConfig, Server,
+};
+use hyperalgos::{try_run_workload, Workload};
+use hypergraph::datasets::Dataset;
+use proptest::prelude::*;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const SCALE: f64 = 0.02;
+
+/// Starts an in-process service, returning its address, a shutdown closure
+/// (drains and joins), and the server thread handle.
+fn start(
+    cfg: ServeConfig,
+) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<chg_serve::StatsReport>>) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect_ready(addr, Duration::from_secs(10)).expect("service becomes ready")
+}
+
+fn base_request() -> RunRequest {
+    let mut req = RunRequest::new("pr", "chgraph", "LJ");
+    req.scale = SCALE;
+    req.iters = Some(4);
+    req
+}
+
+/// Polls the service until `pred` holds on a stats snapshot (or panics at
+/// the deadline) — the deterministic way to sequence multi-connection
+/// scenarios without sleeping blind.
+fn wait_stats(addr: SocketAddr, what: &str, pred: impl Fn(&chg_serve::StatsReport) -> bool) {
+    let mut client = connect(addr);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().expect("stats");
+        if pred(&stats) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}: {stats:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (a) + (b): LRU reuse and result identity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn second_identical_request_hits_the_lru_with_identical_result() {
+    let (addr, handle) = start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut client = connect(addr);
+
+    let first = client.run(base_request()).expect("first run");
+    assert_eq!(first.artifact_source.as_str(), "built", "cold store must build");
+
+    let before = client.stats().expect("stats").artifacts;
+    let second = client.run(base_request()).expect("second run");
+    let after = client.stats().expect("stats").artifacts;
+
+    // The artifact came from the LRU and the hit counter moved.
+    assert_eq!(second.artifact_source.as_str(), "lru-hit");
+    assert_eq!(after.oag_hits, before.oag_hits + 1, "second request must count as an LRU hit");
+    assert_eq!(after.oag_misses, before.oag_misses, "second request must not rebuild");
+
+    // Identical result, not merely a similar one.
+    assert_eq!(first.fingerprint, second.fingerprint);
+    assert_eq!(first.cycles, second.cycles);
+    assert_eq!(first.iterations, second.iterations);
+
+    // (b) The served result is byte-identical to direct library execution:
+    // same config knobs, no daemon, no cache.
+    let g = chg_bench::load_scaled(Dataset::LiveJournal, chg_bench::Scale(SCALE));
+    let cfg = chgraph::RunConfig::new().with_oag_build_threads(1).with_max_iterations(4);
+    let direct = try_run_workload(Workload::Pr, &chgraph::ChGraphRuntime::new(), &g, &cfg)
+        .expect("direct run");
+    assert_eq!(
+        first.fingerprint,
+        format!("{:016x}", fingerprint_report(&direct)),
+        "daemon result must be byte-identical to the direct library path"
+    );
+    assert_eq!(first.cycles, direct.cycles);
+
+    let mut closer = connect(addr);
+    closer.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+// ---------------------------------------------------------------------------
+// (c): backpressure is a structured rejection, not a hang
+// ---------------------------------------------------------------------------
+
+#[test]
+fn full_queue_rejects_with_overloaded() {
+    // One worker, one queue slot: A executes, B occupies the slot, C must
+    // be rejected. The `repeat` knob keeps A/B busy long enough that the
+    // stats-polled sequencing below is deterministic, not timing-lucky.
+    let cfg = ServeConfig { workers: 1, queue_capacity: 1, ..ServeConfig::default() };
+    let (addr, handle) = start(cfg);
+
+    // Warm the artifact store so A/B's occupancy is pure execution time.
+    connect(addr).run(base_request()).expect("warmup");
+
+    let heavy = || {
+        let mut req = base_request();
+        req.repeat = 120;
+        req
+    };
+    let outcome: (Result<_, ClientError>, Result<_, ClientError>, Result<_, ClientError>) =
+        std::thread::scope(|s| {
+            let a = s.spawn(move || connect(addr).run(heavy()));
+            // A is in flight once the queue has drained back to depth 1
+            // (pop happens immediately with an idle worker).
+            wait_stats(addr, "A in flight", |st| st.queue_depth == 1);
+            let b = s.spawn(move || connect(addr).run(heavy()));
+            wait_stats(addr, "B queued", |st| st.queue_depth == 2);
+            // C: worker busy with A, queue full with B -> immediate reject.
+            let started = Instant::now();
+            let c = connect(addr).run(heavy());
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "rejection must be prompt, not a hang"
+            );
+            (a.join().expect("A thread"), b.join().expect("B thread"), c)
+        });
+
+    let (a, b, c) = outcome;
+    assert!(a.is_ok(), "A must complete: {a:?}");
+    assert!(b.is_ok(), "B must complete: {b:?}");
+    match c {
+        Err(ClientError::Overloaded { queue_capacity }) => assert_eq!(queue_capacity, 1),
+        other => panic!("C must be rejected with Overloaded, got {other:?}"),
+    }
+
+    let stats = connect(addr).stats().expect("stats");
+    assert_eq!(stats.requests.rejected_overload, 1);
+
+    let mut closer = connect(addr);
+    closer.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+// ---------------------------------------------------------------------------
+// (d): shutdown drains in-flight work
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let cfg = ServeConfig { workers: 1, ..ServeConfig::default() };
+    let (addr, handle) = start(cfg);
+    connect(addr).run(base_request()).expect("warmup");
+
+    let heavy = {
+        let mut req = base_request();
+        req.repeat = 120;
+        req
+    };
+    let in_flight = std::thread::spawn(move || connect(addr).run(heavy));
+    wait_stats(addr, "heavy request in flight", |st| st.queue_depth == 1);
+
+    // Trigger drain while the heavy request is mid-execution.
+    let mut closer = connect(addr);
+    closer.shutdown().expect("shutdown ack");
+
+    // The in-flight request still completes and gets its reply.
+    let result = in_flight.join().expect("client thread").expect("drained run must succeed");
+    assert!(!result.fingerprint.is_empty());
+
+    // The server exits cleanly and its final snapshot saw the request.
+    let stats = handle.join().expect("server thread").expect("clean exit");
+    assert!(stats.requests.ok >= 2, "warmup + drained heavy request: {:?}", stats.requests);
+
+    // New connections are refused once the listener is down.
+    assert!(
+        Client::connect(addr).and_then(|mut c| c.ping()).is_err(),
+        "a drained server must not accept new work"
+    );
+}
+
+#[test]
+fn runs_after_shutdown_are_rejected_as_draining() {
+    let (addr, handle) = start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut client = connect(addr);
+    // Same connection: shutdown ack, then the server replies to nothing
+    // further on it — but a pre-shutdown-opened second connection gets the
+    // typed shutting-down error for a run submitted during the drain window.
+    let mut second = connect(addr);
+    client.shutdown().expect("shutdown ack");
+    match second.run(base_request()) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "shutting-down"),
+        // The drain can finish (and close the socket) before the request
+        // lands; that is also a non-hang outcome.
+        Err(ClientError::Proto(_)) => {}
+        other => panic!("expected shutting-down or closed socket, got {other:?}"),
+    }
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol robustness: fault-injected frames
+// ---------------------------------------------------------------------------
+
+fn encode_request(req: &Request) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    proto::send(&mut bytes, req).expect("encode");
+    bytes
+}
+
+#[test]
+fn bit_flipped_frames_are_rejected_not_misdecoded() {
+    let frame = encode_request(&Request::Run(base_request()));
+    for offset in 0..frame.len() as u64 {
+        let mut reader = FaultReader::new(&frame[..], Fault::FlipBit { offset, bit: 2 });
+        let decoded: Result<Request, _> = proto::recv(&mut reader);
+        assert!(
+            decoded.is_err(),
+            "a flipped bit at offset {offset} must fail decoding, not pass silently"
+        );
+    }
+}
+
+#[test]
+fn truncated_frames_fail_cleanly_at_every_length() {
+    let frame = encode_request(&Request::Stats);
+    for offset in 0..frame.len() as u64 {
+        let mut reader = FaultReader::new(&frame[..], Fault::Truncate { offset });
+        let decoded: Result<Request, _> = proto::recv(&mut reader);
+        match decoded {
+            Err(ProtoError::Io(_))
+            | Err(ProtoError::Magic)
+            | Err(ProtoError::ChecksumMismatch { .. }) => {}
+            other => panic!("truncation at {offset} must be a framing error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn short_reads_do_not_corrupt_frames() {
+    // Single-byte reads past offset 3 stress every read_exact loop; the
+    // frame must still decode to the identical value.
+    let req = Request::Run(base_request());
+    let frame = encode_request(&req);
+    let mut reader = FaultReader::new(&frame[..], Fault::Short { offset: 3 });
+    let decoded: Request = proto::recv(&mut reader).expect("short reads are not errors");
+    assert_eq!(decoded, req);
+}
+
+#[test]
+fn garbage_on_the_socket_gets_a_typed_protocol_error() {
+    let (addr, handle) = start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+        raw.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write garbage");
+        let reply: Result<Response, _> = proto::recv(&mut raw);
+        match reply {
+            Ok(Response::Error { kind, .. }) => assert_eq!(kind, "protocol"),
+            other => panic!("expected a protocol error response, got {other:?}"),
+        }
+    }
+    wait_stats(addr, "protocol error counted", |st| st.requests.protocol_errors == 1);
+    let mut closer = connect(addr);
+    closer.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: wire round-trips for arbitrary field values
+// ---------------------------------------------------------------------------
+
+/// `Option<T>` via `(present, value)` — the vendored proptest has no
+/// `prop::option`.
+fn opt<T>(present: bool, value: T) -> Option<T> {
+    present.then_some(value)
+}
+
+fn arb_run_request() -> impl Strategy<Value = RunRequest> {
+    const WORKLOADS: [&str; 4] = ["pr", "bfs", "sssp", "nonsense"];
+    const RUNTIMES: [&str; 4] = ["chgraph", "hygra", "gla", "weird"];
+    const DATASETS: [&str; 4] = ["LJ", "WEB", "FS", "??"];
+    (
+        (0usize..4, 0usize..4, 0usize..4, 1u64..4000),
+        (any::<bool>(), 1usize..64, any::<bool>(), 0u32..16),
+        (
+            (any::<bool>(), 1usize..64),
+            (any::<bool>(), 1usize..1000),
+            (any::<bool>(), any::<u64>()),
+            (any::<bool>(), 1u64..600_000),
+        ),
+        (any::<bool>(), any::<bool>(), 1u32..1000),
+    )
+        .prop_map(
+            |(
+                (w, r, d, scale_millis),
+                (has_cores, cores, has_wmin, wmin),
+                ((has_dmax, dmax), (has_iters, iters), (has_mc, max_cycles), (has_mw, max_wall)),
+                (self_check, validate, repeat),
+            )| {
+                let mut req = RunRequest::new(WORKLOADS[w], RUNTIMES[r], DATASETS[d]);
+                req.scale = scale_millis as f64 / 1000.0;
+                req.cores = opt(has_cores, cores);
+                req.wmin = opt(has_wmin, wmin);
+                req.dmax = opt(has_dmax, dmax);
+                req.iters = opt(has_iters, iters);
+                req.max_cycles = opt(has_mc, max_cycles.max(1));
+                req.max_wall_ms = opt(has_mw, max_wall);
+                req.self_check = self_check;
+                req.validate = validate;
+                req.repeat = repeat;
+                req
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_run_request_round_trips_the_wire(req in arb_run_request()) {
+        let frame = encode_request(&Request::Run(req.clone()));
+        let decoded: Request = proto::recv(&mut &frame[..]).expect("decode");
+        prop_assert_eq!(decoded, Request::Run(req));
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected(req in arb_run_request(), bit in 0u32..8, pick in any::<usize>()) {
+        let frame = encode_request(&Request::Run(req));
+        let offset = (pick % frame.len()) as u64;
+        let mut reader = FaultReader::new(&frame[..], Fault::FlipBit { offset, bit: bit as u8 });
+        let decoded: Result<Request, _> = proto::recv(&mut reader);
+        prop_assert!(decoded.is_err(), "flip at byte {} bit {} must not decode", offset, bit);
+    }
+}
