@@ -50,6 +50,8 @@ mod dram;
 mod energy;
 mod machine;
 mod noc;
+#[cfg(any(test, feature = "reference-kernels"))]
+pub mod reference;
 mod stats;
 mod timer;
 

@@ -210,11 +210,9 @@ impl Machine {
             self.stats.record(region, Level::L2);
             return AccessResult { level: Level::L2, latency };
         }
-        // Newly filled into this core's L2: update the directory.
-        // invariant: the entry() call on the previous line materialized
-        // the key.
-        self.directory.entry(line).or_insert(0);
-        *self.directory.get_mut(&line).expect("just inserted") |= 1 << core;
+        // Newly filled into this core's L2: update the directory (one
+        // hash probe — this runs on every private-cache miss).
+        *self.directory.entry(line).or_insert(0) |= 1 << core;
 
         // ---- L3 (over the NoC) ----
         let bank = self.bank_of(line);

@@ -31,3 +31,12 @@ pub use cache::{CacheStats, PreprocessCache};
 pub use hostmeta::HostMeta;
 pub use scale::{load_graph_scaled, load_scaled, Scale};
 pub use table::Table;
+
+/// Default worker-thread count for the CLI binaries: the host's available
+/// parallelism, clamped to at least 1. BENCH_parallel.json measured a 1.33×
+/// oversubscription penalty when a fixed default exceeded the host's cores,
+/// so every binary that fans out defaults to this and lets an explicit
+/// `--threads` value win.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -114,7 +114,10 @@ impl CpModel {
         assert_eq!(schedule.len(), emit_times.len(), "one emit time per scheduled element");
         let lat = self.latencies;
         let mut fifo: Fifo<()> = Fifo::new(self.fifo_capacity);
-        let mut tuples = Vec::new();
+        // One tuple per bipartite edge of the schedule: size the delivery
+        // buffer once instead of growing it in doublings mid-run.
+        let total_edges: usize = schedule.iter().map(|&e| g.incidence(side, e).len()).sum();
+        let mut tuples = Vec::with_capacity(total_edges);
         let mut cycle: u64 = 0;
         let mut empty_stalls: u64 = 0;
         let mut full_stalls: u64 = 0;
@@ -203,14 +206,16 @@ mod tests {
         let cp =
             CpModel::default().run(&g, Side::Hyperedge, hcg.chains.schedule(), &hcg.emit_times, 1);
         assert_eq!(cp.tuples.len(), g.num_bipartite_edges());
-        // Each (src, dst) pair appears exactly as often as in the CSR.
-        let mut seen = std::collections::HashMap::new();
+        // Each (src, dst) pair appears exactly as often as in the CSR:
+        // dense delivery counts indexed by (src, dst), no hashing.
+        let stride = g.num_vertices();
+        let mut seen = vec![0u32; g.num_hyperedges() * stride];
         for t in &cp.tuples {
-            *seen.entry((t.src, t.dst)).or_insert(0u32) += 1;
+            seen[t.src as usize * stride + t.dst as usize] += 1;
         }
         for h in 0..g.num_hyperedges() as u32 {
             for &v in g.incidence(Side::Hyperedge, h) {
-                assert_eq!(seen.get(&(h, v)), Some(&1), "({h},{v})");
+                assert_eq!(seen[h as usize * stride + v as usize], 1, "({h},{v})");
             }
         }
     }

@@ -24,7 +24,7 @@ use crate::{Algorithm, EngineReport, RunConfig, State};
 use archsim::{AccessKind, CoreTimer, Level, Machine, Region};
 use hypergraph::chunk::{partition, Chunk};
 use hypergraph::{Frontier, Hypergraph, Side};
-use oag::{generate_chains_observed, ChainObserver, Oag};
+use oag::{generate_chains_observed_with_scratch, ChainObserver, ChainScratch, Oag};
 use std::collections::VecDeque;
 
 /// How the schedule is produced and who performs loads.
@@ -165,6 +165,10 @@ pub(crate) struct Driver<'a> {
     watchdog: Watchdog,
     /// Iterations completed so far (for watchdog progress snapshots).
     iterations_done: usize,
+    /// Reused visited-set scratch for chain generation: epoch-tagged, so
+    /// per-iteration clearing is a counter bump instead of an O(chunk)
+    /// allocation per core per phase.
+    chain_scratch: ChainScratch,
 }
 
 impl<'a> Driver<'a> {
@@ -219,6 +223,7 @@ impl<'a> Driver<'a> {
             core_busy: 0,
             watchdog: Watchdog::new(cfg.watchdog),
             iterations_done: 0,
+            chain_scratch: ChainScratch::new(),
         })
     }
 
@@ -795,12 +800,13 @@ impl<'a> Driver<'a> {
                     last_word: u64::MAX,
                     queue_pos: 0,
                 };
-                let chains = generate_chains_observed(
+                let chains = generate_chains_observed_with_scratch(
                     oag,
                     frontier,
                     chunk.first..chunk.last,
                     &self.cfg.chain,
                     &mut obs,
+                    &mut self.chain_scratch,
                 );
                 if deep_validate {
                     chains
@@ -904,12 +910,13 @@ impl<'a> Driver<'a> {
                     last_edge_line: u64::MAX,
                     emit_time: Vec::new(),
                 };
-                let chains = generate_chains_observed(
+                let chains = generate_chains_observed_with_scratch(
                     oag,
                     frontier,
                     chunk.first..chunk.last,
                     &self.cfg.chain,
                     &mut obs,
+                    &mut self.chain_scratch,
                 );
                 if deep_validate {
                     chains

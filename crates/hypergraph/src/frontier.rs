@@ -143,6 +143,36 @@ impl Frontier {
     pub fn num_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Number of active ids in `range` (word-wise popcount; `O(range/64)`).
+    /// Chain generation uses this to size its chain queue up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range.end as usize > universe`.
+    pub fn count_range(&self, range: std::ops::Range<u32>) -> usize {
+        if range.start >= range.end {
+            return 0;
+        }
+        assert!(
+            range.end as usize <= self.universe,
+            "range end {} outside universe {}",
+            range.end,
+            self.universe
+        );
+        let (start, end) = (range.start as usize, range.end as usize);
+        let (first_word, last_word) = (start / 64, (end - 1) / 64);
+        let head_mask = !0u64 << (start % 64);
+        let tail_mask = !0u64 >> (63 - (end - 1) % 64);
+        if first_word == last_word {
+            return (self.words[first_word] & head_mask & tail_mask).count_ones() as usize;
+        }
+        let mut count = (self.words[first_word] & head_mask).count_ones() as usize;
+        for &w in &self.words[first_word + 1..last_word] {
+            count += w.count_ones() as usize;
+        }
+        count + (self.words[last_word] & tail_mask).count_ones() as usize
+    }
 }
 
 impl Extend<u32> for Frontier {
@@ -234,6 +264,25 @@ mod tests {
     fn contains_panics_out_of_range() {
         let f = Frontier::empty(4);
         let _ = f.contains(4);
+    }
+
+    #[test]
+    fn count_range_matches_filtered_iteration() {
+        let ids = [0u32, 1, 63, 64, 65, 100, 127, 128, 199];
+        let f = Frontier::from_iter(200, ids.iter().copied());
+        for range in [0u32..200, 0..64, 64..128, 1..199, 63..65, 100..101, 150..150, 0..1] {
+            let expect = f.iter().filter(|id| range.contains(id)).count();
+            assert_eq!(f.count_range(range.clone()), expect, "{range:?}");
+        }
+        assert_eq!(Frontier::full(200).count_range(0..200), 200);
+        assert_eq!(Frontier::empty(200).count_range(0..200), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn count_range_panics_out_of_range() {
+        let f = Frontier::empty(10);
+        let _ = f.count_range(0..11);
     }
 
     #[test]

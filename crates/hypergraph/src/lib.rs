@@ -48,6 +48,7 @@ pub mod chunk;
 mod csr;
 pub mod datasets;
 pub mod directed;
+pub mod epoch;
 mod frontier;
 pub mod generate;
 mod graph;

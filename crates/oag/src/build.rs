@@ -7,6 +7,7 @@
 //! the paper amortizes across algorithm executions (§IV-A, Fig. 21).
 
 use crate::Oag;
+use hypergraph::epoch::EpochCounters;
 use hypergraph::{Hypergraph, Side};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
@@ -95,6 +96,12 @@ impl OagConfig {
     ) -> (Oag, OagBuildStats) {
         let n = g.num_on(side);
         let threads = threads.max(1).min(n.max(1));
+        if threads == 1 {
+            // Serial fast path: rows stream straight into the final CSR
+            // arrays, skipping the per-span staging buffers and their
+            // merge copy entirely.
+            return self.build_serial(g, side, 0);
+        }
         let spans: Vec<Range<u32>> = {
             let per = n.div_ceil(threads);
             (0..threads)
@@ -105,21 +112,17 @@ impl OagConfig {
                 })
                 .collect()
         };
-        let parts: Vec<SpanRows> = if threads == 1 {
-            spans.into_iter().map(|s| self.count_span(g, side, s)).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = spans
-                    .into_iter()
-                    .map(|s| scope.spawn(move || self.count_span(g, side, s)))
-                    .collect();
-                // invariant: count_span is pure arithmetic over a
-                // validated graph; a panic there is a bug, and silently
-                // dropping a span would corrupt the merged OAG, so the
-                // panic is re-propagated rather than recovered.
-                handles.into_iter().map(|h| h.join().expect("OAG span worker panicked")).collect()
-            })
-        };
+        let parts: Vec<SpanRows> = std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .into_iter()
+                .map(|s| scope.spawn(move || self.count_span(g, side, s)))
+                .collect();
+            // invariant: count_rows is pure arithmetic over a
+            // validated graph; a panic there is a bug, and silently
+            // dropping a span would corrupt the merged OAG, so the
+            // panic is re-propagated rather than recovered.
+            handles.into_iter().map(|h| h.join().expect("OAG span worker panicked")).collect()
+        });
 
         // Merge spans in index order: offsets by prefix sum, edge/weight
         // arrays by concatenation, statistics by field-wise summation.
@@ -150,26 +153,45 @@ impl OagConfig {
         (oag, stats)
     }
 
-    /// Two-hop counting for a contiguous span of source elements. All
-    /// scratch — the sparse counter, the touched list, and the per-row
-    /// candidate buffer — is allocated once per span and reused across rows.
-    fn count_span(&self, g: &Hypergraph, side: Side, span: Range<u32>) -> SpanRows {
+    /// Two-hop counting over a contiguous span of source elements, handing
+    /// each finished `(neighbor, weight)` row — already degree-capped and
+    /// in descending-weight / ascending-id order — to `emit`. All scratch —
+    /// the epoch-tagged counter, the touched list, and the per-row
+    /// candidate buffer — is allocated once and reused across rows; the
+    /// counter is "cleared" between rows by an epoch bump
+    /// ([`EpochCounters::begin`]) instead of per-slot zeroing stores, and
+    /// the degree cap uses a bounded top-k selection rather than a
+    /// full-row sort. `initial_epoch` parks the epoch counter for the
+    /// wraparound tests; production paths pass 0 (ignored).
+    fn count_rows(
+        &self,
+        g: &Hypergraph,
+        side: Side,
+        span: Range<u32>,
+        initial_epoch: u32,
+        mut emit: impl FnMut(&[(u32, u32)]),
+    ) -> OagBuildStats {
         let n = g.num_on(side);
         let mut stats = OagBuildStats::default();
 
-        // Sparse per-row counter: counts[b] = overlap weight with the pivot
-        // row; `touched` remembers which slots to reset.
-        let mut counts = vec![0u32; n];
+        // Dense per-row counter: counts.get(b) = overlap weight with the
+        // pivot row; `touched` remembers which slots to drain.
+        let mut counts = EpochCounters::new();
+        counts.begin(n);
+        if initial_epoch != 0 {
+            counts.force_epoch(initial_epoch);
+        }
         let mut touched: Vec<u32> = Vec::new();
         let mut row: Vec<(u32, u32)> = Vec::new(); // (neighbor, weight)
+        let cap = self.max_degree as usize;
+        // Descending weight, ascending id on ties — the storage order the
+        // hardware's neighbor-selection stage relies on. A total order
+        // (ids are unique per row), so top-k selection + sort of the k
+        // survivors yields exactly the full sort's prefix.
+        let order = |x: &(u32, u32), y: &(u32, u32)| y.1.cmp(&x.1).then(x.0.cmp(&y.0));
 
-        let mut out = SpanRows {
-            row_lens: Vec::with_capacity(span.len()),
-            edges: Vec::new(),
-            weights: Vec::new(),
-            stats: OagBuildStats::default(),
-        };
         for a in span {
+            counts.begin(n);
             for &mid in g.incidence(side, a) {
                 let pivot_deg = g.degree(side.opposite(), mid);
                 if pivot_deg as u64 > self.max_pivot_degree as u64 {
@@ -181,35 +203,90 @@ impl OagConfig {
                     if b == a {
                         continue;
                     }
-                    if counts[b as usize] == 0 {
+                    if counts.add(b as usize) == 1 {
                         touched.push(b);
                     }
-                    counts[b as usize] += 1;
                 }
             }
             row.clear();
-            for &b in &touched {
-                let w = counts[b as usize];
-                counts[b as usize] = 0;
+            for b in touched.drain(..) {
+                let w = counts.get(b as usize);
                 stats.pairs_considered += 1;
                 if w >= self.w_min {
                     row.push((b, w));
                 }
             }
-            touched.clear();
-            // Descending weight, ascending id on ties — the storage order the
-            // hardware's neighbor-selection stage relies on.
-            row.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
-            row.truncate(self.max_degree as usize);
+            if row.len() > cap {
+                // Bounded top-k: partition the k heaviest candidates to the
+                // front, then sort only those k.
+                row.select_nth_unstable_by(cap, order);
+                row.truncate(cap);
+            }
+            row.sort_unstable_by(order);
             stats.edges_kept += row.len();
+            emit(&row);
+        }
+        stats
+    }
+
+    /// [`count_rows`](Self::count_rows) staged into per-span buffers for
+    /// the threaded build's index-order merge.
+    fn count_span(&self, g: &Hypergraph, side: Side, span: Range<u32>) -> SpanRows {
+        let mut out = SpanRows {
+            row_lens: Vec::with_capacity(span.len()),
+            edges: Vec::new(),
+            weights: Vec::new(),
+            stats: OagBuildStats::default(),
+        };
+        out.stats = self.count_rows(g, side, span, 0, |row| {
             out.row_lens.push(row.len() as u32);
-            for &(b, w) in &row {
+            for &(b, w) in row {
                 out.edges.push(b);
                 out.weights.push(w);
             }
-        }
-        out.stats = stats;
+        });
         out
+    }
+
+    /// The serial build: rows stream directly into the final CSR arrays
+    /// with no intermediate staging. `initial_epoch` as in
+    /// [`count_rows`](Self::count_rows).
+    fn build_serial(&self, g: &Hypergraph, side: Side, initial_epoch: u32) -> (Oag, OagBuildStats) {
+        let n = g.num_on(side);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut edges: Vec<u32> = Vec::new();
+        let mut weights: Vec<u32> = Vec::new();
+        let mut running = 0u64;
+        let mut stats = self.count_rows(g, side, 0..n as u32, initial_epoch, |row| {
+            running += row.len() as u64;
+            // invariant: node ids are u32 and max_degree caps edges per
+            // node, so the total edge count fits u32 by construction.
+            offsets.push(u32::try_from(running).expect("OAG edge count fits u32"));
+            for &(b, w) in row {
+                edges.push(b);
+                weights.push(w);
+            }
+        });
+        let oag = Oag::from_parts(side, self.w_min, offsets, edges, weights);
+        stats.size_bytes = oag.size_bytes();
+        (oag, stats)
+    }
+
+    /// [`build_with_stats`](Self::build_with_stats) with the counting
+    /// scratch's epoch counter parked at `epoch` before the first row —
+    /// wraparound-coverage support: the identity tests start just below
+    /// `u32::MAX` and prove the output matches the reference kernel across
+    /// the wrap. Serial only; compiled for tests and the
+    /// `reference-kernels` feature.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn build_with_stats_at_epoch(
+        &self,
+        g: &Hypergraph,
+        side: Side,
+        epoch: u32,
+    ) -> (Oag, OagBuildStats) {
+        self.build_serial(g, side, epoch.max(1))
     }
 }
 
@@ -341,6 +418,42 @@ mod tests {
         assert!(capped.two_hop_steps < full.two_hop_steps);
         assert!(capped.pivots_skipped > 0);
         assert_eq!(full.pivots_skipped, 0);
+    }
+
+    #[test]
+    fn optimized_build_matches_reference_kernel() {
+        for (seed, w_min, max_deg, pivot_cap) in [
+            (21u64, 1u32, u32::MAX, u32::MAX),
+            (33, 2, 16, 256),
+            (5, 3, 4, 8),
+            (77, 1, 2, u32::MAX),
+        ] {
+            let g = GeneratorConfig::new(400, 300).with_seed(seed).generate();
+            let cfg = OagConfig::new()
+                .with_w_min(w_min)
+                .with_max_degree(max_deg)
+                .with_max_pivot_degree(pivot_cap);
+            for side in [Side::Hyperedge, Side::Vertex] {
+                let (opt, opt_stats) = cfg.build_with_stats(&g, side);
+                let (reference, ref_stats) = crate::reference::build_with_stats(&cfg, &g, side);
+                assert_eq!(opt, reference, "seed {seed} {side:?}");
+                assert_eq!(opt_stats, ref_stats, "seed {seed} {side:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_wraparound_does_not_corrupt_counts() {
+        let g = GeneratorConfig::new(300, 200).with_seed(13).generate();
+        let cfg = OagConfig::new().with_w_min(1).with_max_degree(8);
+        let (reference, ref_stats) = crate::reference::build_with_stats(&cfg, &g, Side::Hyperedge);
+        // Park the epoch counter so it wraps mid-build (one bump per row,
+        // 200 rows, wrap forced within the first few).
+        for start in [u32::MAX - 3, u32::MAX - 100, u32::MAX] {
+            let (opt, opt_stats) = cfg.build_with_stats_at_epoch(&g, Side::Hyperedge, start);
+            assert_eq!(opt, reference, "start epoch {start}");
+            assert_eq!(opt_stats, ref_stats, "start epoch {start}");
+        }
     }
 
     #[test]

@@ -26,6 +26,15 @@ impl ChainSet {
         ChainSet::default()
     }
 
+    /// Creates an empty chain set with room for `elements` scheduled
+    /// elements (and as many chain starts — every chain holds at least one
+    /// element, so that bounds both arrays). Capacity is invisible to
+    /// `Eq`/serialization; chain generation sizes the queue once from the
+    /// frontier cardinality instead of growing it in doublings.
+    pub(crate) fn with_capacity(elements: usize) -> Self {
+        ChainSet { queue: Vec::with_capacity(elements), starts: Vec::with_capacity(elements) }
+    }
+
     /// Builds a chain set from explicit per-chain element lists.
     ///
     /// Chain generation produces [`ChainSet`]s internally; this constructor

@@ -41,11 +41,14 @@ mod generate;
 mod graph;
 pub mod io;
 pub mod quality;
+#[cfg(any(test, feature = "reference-kernels"))]
+pub mod reference;
 
 pub use build::{OagBuildStats, OagConfig};
 pub use chain::ChainSet;
 pub use generate::{
-    generate_chains, generate_chains_observed, ChainConfig, ChainObserver, NoopObserver,
+    generate_chains, generate_chains_observed, generate_chains_observed_with_scratch,
+    generate_chains_with_scratch, ChainConfig, ChainObserver, ChainScratch, NoopObserver,
 };
 pub use graph::Oag;
 pub use hypergraph::ValidationError;

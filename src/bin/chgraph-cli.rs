@@ -133,8 +133,7 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), String> {
         .ok_or("missing or unknown --workload")?;
     let runtime =
         flags.get("runtime").and_then(|r| pick_runtime(r)).ok_or("missing or unknown --runtime")?;
-    let mut cfg = RunConfig::new()
-        .with_oag_build_threads(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let mut cfg = RunConfig::new().with_oag_build_threads(chg_bench::default_threads());
     if let Some(t) = flags.get("threads") {
         cfg = cfg.with_oag_build_threads(t.parse().map_err(|_| "bad --threads")?);
     }

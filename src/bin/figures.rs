@@ -24,7 +24,7 @@
 //! exit) while the rest of the grid completes — guards never abort the run.
 
 use chg_bench::figures::{self, Harness};
-use chg_bench::{PreprocessCache, Scale};
+use chg_bench::{default_threads, PreprocessCache, Scale};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -43,10 +43,6 @@ fn usage() -> ExitCode {
     );
     eprintln!("artifacts: {}", ARTIFACTS.join(" "));
     ExitCode::FAILURE
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Emits one artifact with panic isolation: a cell that keeps failing

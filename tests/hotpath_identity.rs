@@ -1,0 +1,148 @@
+//! Kernel-identity property tests for the hot-path flattening rewrite.
+//!
+//! The flattening PR rewrote three kernels (the set-associative cache, OAG
+//! two-hop counting, chain generation) with flat layouts and epoch-tagged
+//! scratch, keeping the originals as `archsim::reference` / `oag::reference`
+//! under the `reference-kernels` feature. These properties replay random
+//! inputs through both implementations and assert the outputs — including
+//! full observer event streams and statistics — are bit-identical, so the
+//! committed `BENCH_hotpath.json` speedups are speedups of *the same
+//! function*, not of a subtly different one.
+
+use hypergraph::{Frontier, Hypergraph, HypergraphBuilder, Side, VertexId};
+use oag::{generate_chains, generate_chains_with_scratch, ChainConfig, ChainScratch, OagConfig};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary small hypergraph (same shape as tests/properties.rs).
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (2usize..40).prop_flat_map(|nv| {
+        (Just(nv), prop::collection::vec(prop::collection::vec(0u32..nv as u32, 1..8), 1..30))
+            .prop_map(|(nv, rows)| {
+                let mut b = HypergraphBuilder::new(nv);
+                for row in rows {
+                    b.add_hyperedge(row.into_iter().map(VertexId::new)).expect("in range");
+                }
+                b.build()
+            })
+    })
+}
+
+/// Strategy: a random OAG configuration, biased to small degree caps so the
+/// bounded top-k selection path is actually exercised.
+fn arb_oag_config() -> impl Strategy<Value = OagConfig> {
+    (1u32..4, 1u32..6, 2u32..40).prop_map(|(w_min, max_degree, max_pivot)| {
+        OagConfig::new()
+            .with_w_min(w_min)
+            .with_max_degree(max_degree)
+            .with_max_pivot_degree(max_pivot)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flat SoA cache == nested reference cache, for every access result,
+    /// probe, invalidation, and the final resident-line census, across
+    /// random geometries and op streams — including streams that cross the
+    /// flat cache's `u32` LRU-stamp wrap (the reference's `u64` clock never
+    /// wraps, so any compaction artifact diverges immediately).
+    fn cache_streams_are_identical(
+        geometry in (0usize..5, 1usize..5),
+        ops in prop::collection::vec((0u64..(1 << 14), 0u32..16, any::<bool>()), 1..600),
+        // `wrap_at >= 600` (half the range) means the stream never wraps.
+        wrap_at in 0usize..1200,
+        wrap_back in 0u32..4,
+    ) {
+        let (set_pow, ways) = geometry;
+        let cfg = archsim::CacheConfig {
+            size_bytes: 64 * ways * (1 << set_pow),
+            ways,
+            latency: 1,
+        };
+        let mut flat = archsim::Cache::new(&cfg, 64);
+        let mut nested = archsim::reference::Cache::new(&cfg, 64);
+        for (step, (addr, op, write)) in ops.into_iter().enumerate() {
+            if wrap_at == step {
+                // Park the flat side's LRU clock at the wrap edge
+                // mid-stream; the rank compaction must be unobservable.
+                flat.force_stamp(u32::MAX - wrap_back);
+            }
+            match op {
+                0 => prop_assert_eq!(flat.invalidate(addr), nested.invalidate(addr)),
+                1 => prop_assert_eq!(flat.mark_dirty(addr), nested.mark_dirty(addr)),
+                2 => prop_assert_eq!(flat.contains(addr), nested.contains(addr)),
+                3 => {
+                    flat.flush_silently();
+                    nested.flush_silently();
+                }
+                _ => prop_assert_eq!(flat.access(addr, write), nested.access(addr, write)),
+            }
+        }
+        prop_assert_eq!(flat.resident_lines(), nested.resident_lines());
+    }
+
+    /// Epoch-counted OAG build (serial and threaded) == the pre-rewrite
+    /// clear-as-drain + full-sort build, graph and stats both.
+    fn oag_builds_are_identical(
+        g in arb_hypergraph(),
+        cfg in arb_oag_config(),
+        threads in 1usize..4,
+    ) {
+        for side in [Side::Hyperedge, Side::Vertex] {
+            let (want, want_stats) = oag::reference::build_with_stats(&cfg, &g, side);
+            let (got, got_stats) = cfg.build_with_stats(&g, side);
+            prop_assert_eq!(&got, &want);
+            prop_assert_eq!(got_stats, want_stats);
+            let threaded = cfg.build_threads(&g, side, threads);
+            prop_assert_eq!(&threaded, &want);
+        }
+    }
+
+    /// OAG counting scratch parked just below the `u32` epoch wrap produces
+    /// the same graph as the reference — the one real `fill(0)` on wrap is
+    /// invisible.
+    fn oag_build_survives_epoch_wraparound(
+        g in arb_hypergraph(),
+        cfg in arb_oag_config(),
+        back in 0u32..3,
+    ) {
+        let side = Side::Hyperedge;
+        let (want, want_stats) = oag::reference::build_with_stats(&cfg, &g, side);
+        let (got, got_stats) = cfg.build_with_stats_at_epoch(&g, side, u32::MAX - back);
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(got_stats, want_stats);
+    }
+
+    /// Chain generation with a *reused* scratch — history from previous
+    /// cases, chunked ranges, sparse frontiers — matches both the reference
+    /// walk and the allocating entry point.
+    fn chain_generation_is_identical(
+        g in arb_hypergraph(),
+        d_max in 1usize..20,
+        keep in prop::collection::vec(any::<bool>(), 1..40),
+        cores in 1u32..5,
+        epoch_back in 0u32..4,
+    ) {
+        let n = g.num_hyperedges() as u32;
+        let oag = OagConfig::new().with_w_min(1).build(&g, Side::Hyperedge);
+        let frontier = Frontier::from_iter(
+            n as usize,
+            (0..n).filter(|&h| keep.get(h as usize).copied().unwrap_or(false)),
+        );
+        let cfg = ChainConfig::new(d_max);
+        // A scratch with arbitrary prior history, including one parked just
+        // below the epoch wrap, reused across every chunk.
+        let mut scratch = ChainScratch::new();
+        scratch.force_epoch(u32::MAX - epoch_back);
+        let chunk = n.div_ceil(cores).max(1);
+        for c in 0..cores {
+            let range = (c * chunk).min(n)..((c + 1) * chunk).min(n);
+            let want = oag::reference::generate_chains(&oag, &frontier, range.clone(), &cfg);
+            let fresh = generate_chains(&oag, &frontier, range.clone(), &cfg);
+            let reused =
+                generate_chains_with_scratch(&oag, &frontier, range.clone(), &cfg, &mut scratch);
+            prop_assert_eq!(&fresh, &want);
+            prop_assert_eq!(&reused, &want);
+        }
+    }
+}
