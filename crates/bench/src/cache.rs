@@ -32,7 +32,7 @@ use oag::{Oag, OagBuildStats, OagConfig};
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, SystemTime};
 
 const OAG_ENTRY_MAGIC: &[u8; 4] = b"CHGC";
@@ -112,6 +112,11 @@ pub struct PreprocessCache {
     oag_hits: AtomicU64,
     oag_misses: AtomicU64,
     quarantined: AtomicU64,
+    /// When set, [`quarantine`](Self::quarantine) deletes corrupt entries
+    /// instead of renaming them to `*.corrupt`. Long-lived daemons enable
+    /// this so recovery converges to a residue-free cache directory; the
+    /// harness default keeps the rename for post-mortems.
+    remove_corrupt: AtomicBool,
 }
 
 impl PreprocessCache {
@@ -127,9 +132,47 @@ impl PreprocessCache {
             oag_hits: AtomicU64::new(0),
             oag_misses: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            remove_corrupt: AtomicBool::new(false),
         };
         cache.sweep_stale_tmp(DEFAULT_TMP_TTL);
         Ok(cache)
+    }
+
+    /// Selects what [`quarantine`](Self::quarantine) does with a corrupt
+    /// entry: `false` (default) renames it to `*.corrupt` for post-mortems;
+    /// `true` deletes it outright — the policy for long-lived daemons whose
+    /// cache directory must stay residue-free across crash recovery.
+    pub fn set_remove_corrupt(&self, remove: bool) {
+        self.remove_corrupt.store(remove, Ordering::Relaxed);
+    }
+
+    /// Deletes every `*.corrupt` quarantine file in the cache directory,
+    /// returning how many were removed. Failures are ignored — this is
+    /// hygiene, never a correctness dependency.
+    pub fn purge_corrupt(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let is_corrupt =
+                path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(".corrupt"));
+            if is_corrupt && fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Crash recovery after an unclean shutdown (e.g. SIGKILL mid-write):
+    /// sweeps **every** `*.tmp.*` leftover regardless of age (no writer from
+    /// a previous life can still be live) and purges `*.corrupt` residue.
+    /// Torn final entries need no sweep — their checksums fail on first read
+    /// and the normal quarantine-and-recompute path self-heals them.
+    /// Returns `(tmp_swept, corrupt_purged)`.
+    pub fn recover(&self) -> (usize, usize) {
+        (self.sweep_stale_tmp(Duration::ZERO), self.purge_corrupt())
     }
 
     /// The cache directory.
@@ -255,7 +298,13 @@ impl PreprocessCache {
         self.quarantined.fetch_add(1, Ordering::Relaxed);
         let mut target = path.as_os_str().to_owned();
         target.push(".corrupt");
-        let outcome = if fs::rename(path, &target).is_ok() {
+        let outcome = if self.remove_corrupt.load(Ordering::Relaxed) {
+            if fs::remove_file(path).is_ok() {
+                "removed"
+            } else {
+                "could not remove"
+            }
+        } else if fs::rename(path, &target).is_ok() {
             "quarantined"
         } else if fs::remove_file(path).is_ok() {
             // Rename can fail (e.g. a stale .corrupt file is in the way on
@@ -520,6 +569,42 @@ mod tests {
         drop(f);
         let _cache = PreprocessCache::new(&dir).unwrap();
         assert!(!stale.exists(), "stale tmp file must be swept at cache open");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_sweeps_fresh_tmp_and_purges_corrupt() {
+        let dir = tmpdir("recover");
+        fs::create_dir_all(&dir).unwrap();
+        // A fresh tmp file (as if SIGKILL hit mid-write) and a quarantine
+        // leftover from a previous life.
+        fs::write(dir.join("graph_z.tmp.4242"), b"torn write").unwrap();
+        fs::write(dir.join("oag_dead.bin.corrupt"), b"old quarantine").unwrap();
+        let cache = PreprocessCache::new(&dir).unwrap();
+        assert_eq!(cache.recover(), (1, 1));
+        let leftovers: Vec<_> = fs::read_dir(&dir).unwrap().flatten().collect();
+        assert!(leftovers.is_empty(), "recovery must leave no residue: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_corrupt_mode_deletes_instead_of_renaming() {
+        let dir = tmpdir("removecorrupt");
+        let cache = PreprocessCache::new(&dir).unwrap();
+        cache.set_remove_corrupt(true);
+        let g = crate::load_scaled(Dataset::Friendster, Scale(0.05));
+        cache.store_graph(Dataset::Friendster, Scale(0.05), &g);
+        let path = cache.graph_path(Dataset::Friendster, Scale(0.05));
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load_graph(Dataset::Friendster, Scale(0.05)).is_none());
+        assert_eq!(cache.quarantined(), 1);
+        assert!(!path.exists());
+        let mut corrupt = path.as_os_str().to_owned();
+        corrupt.push(".corrupt");
+        assert!(!Path::new(&corrupt).exists(), "remove mode must not leave *.corrupt behind");
         let _ = fs::remove_dir_all(&dir);
     }
 

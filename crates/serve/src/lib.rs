@@ -24,13 +24,22 @@
 //!   `shutdown` request) stops intake, finishes in-flight work, replies to
 //!   every accepted request, and exits 0.
 //!
+//! - **Typed failure.** Both ends classify every failure: the server tallies
+//!   why each connection closed (read-timeout, write-timeout, frame
+//!   deadline, reset, protocol, clean) and the client maps every error to
+//!   retryable-or-terminal ([`ErrorClass`]), so resilience is a contract
+//!   the chaos suite ([`chaos`], `tests/serve_chaos.rs`) can assert, not a
+//!   hope.
+//!
 //! Module map: [`proto`] wire format and request/response schema, [`json`]
 //! the std-only JSON codec under it, [`lru`] the artifact store, [`stats`]
 //! counters and latency histograms, [`server`] the daemon core, [`client`]
-//! the blocking client shared by the CLI, the load generator, and tests.
+//! the blocking client shared by the CLI, the load generator, and tests,
+//! [`chaos`] the seeded fault-injection proxy the resilience tests drive.
 //!
 //! [`WatchdogConfig`]: chgraph::WatchdogConfig
 
+pub mod chaos;
 pub mod client;
 pub mod json;
 pub mod lru;
@@ -38,12 +47,13 @@ pub mod proto;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, ClientError};
+pub use chaos::{plan_for, ChaosPolicy, ChaosProxy, Direction, FaultEvent, FaultPlan};
+pub use client::{Client, ClientError, ErrorClass, RetryOutcome, RetryPolicy};
 pub use lru::{ArtifactStore, Fetch};
 pub use proto::{
-    error_response, run_result_from_report, ArtifactCounters, ArtifactSource, DiskCacheCounters,
-    LatencySummary, ProtoError, Request, RequestCounters, Response, RunRequest, RunResult,
-    StatsReport, WireMessage,
+    error_response, run_result_from_report, ArtifactCounters, ArtifactSource, CloseCounters,
+    DiskCacheCounters, LatencySummary, ProtoError, Request, RequestCounters, Response, RunRequest,
+    RunResult, StatsReport, WireMessage,
 };
 pub use server::{ServeConfig, Server, ShutdownHandle};
-pub use stats::{Counters, LatencyHistogram};
+pub use stats::{CloseCause, Counters, LatencyHistogram};

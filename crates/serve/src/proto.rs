@@ -201,6 +201,11 @@ pub struct RunRequest {
     /// result — a load-testing knob for steady-state latency measurements;
     /// results are identical for any value.
     pub repeat: u32,
+    /// Idempotency key. Runs are pure functions of the request, so a replay
+    /// under the same key is safe; the server single-flights concurrent and
+    /// recent duplicates through one execution and hands every holder of
+    /// the key the identical reply. `None` opts out of deduplication.
+    pub request_key: Option<String>,
 }
 
 impl RunRequest {
@@ -225,7 +230,20 @@ impl RunRequest {
             self_check: false,
             validate: false,
             repeat: 1,
+            request_key: None,
         }
+    }
+
+    /// FNV-1a fingerprint of the request's canonical wire encoding
+    /// (ignoring any `request_key` already set) — the default idempotency
+    /// key a retrying client stamps, and the collision guard the server
+    /// checks before serving a dedup hit.
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut canonical = self.clone();
+        canonical.request_key = None;
+        let mut h = hypergraph::checksum::Fnv64::new();
+        h.update(canonical.to_json().encode().as_bytes());
+        h.digest()
     }
 }
 
@@ -285,6 +303,16 @@ fn get_bool(v: &Json, key: &str) -> Result<bool, ProtoError> {
         .ok_or_else(|| ProtoError::Schema(format!("missing bool field {key:?}")))
 }
 
+fn get_opt_str(v: &Json, key: &str) -> Result<Option<String>, ProtoError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(s) => s
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| ProtoError::Schema(format!("{key} must be a string"))),
+    }
+}
+
 impl WireMessage for RunRequest {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -301,6 +329,7 @@ impl WireMessage for RunRequest {
             ("self_check", Json::Bool(self.self_check)),
             ("validate", Json::Bool(self.validate)),
             ("repeat", Json::U64(self.repeat as u64)),
+            ("request_key", self.request_key.clone().map_or(Json::Null, Json::Str)),
         ])
     }
 
@@ -330,6 +359,7 @@ impl WireMessage for RunRequest {
             self_check: get_bool(v, "self_check")?,
             validate: get_bool(v, "validate")?,
             repeat: repeat as u32,
+            request_key: get_opt_str(v, "request_key")?,
         })
     }
 }
@@ -496,6 +526,32 @@ pub struct RequestCounters {
     pub rejected_overload: u64,
     /// Frames that failed protocol decoding.
     pub protocol_errors: u64,
+    /// Run requests answered from another request's single-flight slot
+    /// (same `request_key`) without executing again.
+    pub deduped: u64,
+    /// Run requests rejected fast by degraded mode (queue-wait p95 over
+    /// the shed threshold).
+    pub shed: u64,
+}
+
+/// Counter block of a [`StatsReport`]: why connections ended, one tally per
+/// connection (plus `conn_cap`, which counts refusals at accept).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CloseCounters {
+    /// Peer closed cleanly between frames (or idle at drain).
+    pub clean: u64,
+    /// Per-read quiet-period timeout mid-frame.
+    pub read_timeout: u64,
+    /// Reply write stalled past the write timeout.
+    pub write_timeout: u64,
+    /// One frame took longer than the total frame deadline (slow-loris).
+    pub frame_deadline: u64,
+    /// Torn connection mid-frame (abrupt close, I/O error).
+    pub reset: u64,
+    /// Closed after replying to an undecodable frame.
+    pub protocol: u64,
+    /// Refused at accept: concurrent-connection cap reached.
+    pub conn_cap: u64,
 }
 
 /// Counter block of a [`StatsReport`]: the in-memory artifact LRU.
@@ -562,6 +618,8 @@ pub struct StatsReport {
     pub queue_depth: u64,
     /// Request outcome counters.
     pub requests: RequestCounters,
+    /// Per-cause connection-close counters.
+    pub closes: CloseCounters,
     /// In-memory artifact LRU counters.
     pub artifacts: ArtifactCounters,
     /// On-disk preprocess cache counters.
@@ -572,6 +630,10 @@ pub struct StatsReport {
     pub execute_latency: LatencySummary,
     /// End-to-end request latency (queue wait + prepare + execute).
     pub total_latency: LatencySummary,
+    /// Time runs spent waiting in the bounded queue before a worker popped
+    /// them — the congestion signal the degraded-mode shed watches, and the
+    /// number a retrying client's backoff is reacting to.
+    pub queue_wait_latency: LatencySummary,
 }
 
 impl WireMessage for LatencySummary {
@@ -611,6 +673,20 @@ impl WireMessage for StatsReport {
                     ("failed", Json::U64(self.requests.failed)),
                     ("rejected_overload", Json::U64(self.requests.rejected_overload)),
                     ("protocol_errors", Json::U64(self.requests.protocol_errors)),
+                    ("deduped", Json::U64(self.requests.deduped)),
+                    ("shed", Json::U64(self.requests.shed)),
+                ]),
+            ),
+            (
+                "closes",
+                Json::obj(vec![
+                    ("clean", Json::U64(self.closes.clean)),
+                    ("read_timeout", Json::U64(self.closes.read_timeout)),
+                    ("write_timeout", Json::U64(self.closes.write_timeout)),
+                    ("frame_deadline", Json::U64(self.closes.frame_deadline)),
+                    ("reset", Json::U64(self.closes.reset)),
+                    ("protocol", Json::U64(self.closes.protocol)),
+                    ("conn_cap", Json::U64(self.closes.conn_cap)),
                 ]),
             ),
             (
@@ -638,11 +714,13 @@ impl WireMessage for StatsReport {
             ("prepare_latency", self.prepare_latency.to_json()),
             ("execute_latency", self.execute_latency.to_json()),
             ("total_latency", self.total_latency.to_json()),
+            ("queue_wait_latency", self.queue_wait_latency.to_json()),
         ])
     }
 
     fn from_json(v: &Json) -> Result<Self, ProtoError> {
         let req = v.get("requests").ok_or_else(|| ProtoError::Schema("missing requests".into()))?;
+        let cls = v.get("closes").ok_or_else(|| ProtoError::Schema("missing closes".into()))?;
         let art =
             v.get("artifacts").ok_or_else(|| ProtoError::Schema("missing artifacts".into()))?;
         let disk =
@@ -658,6 +736,17 @@ impl WireMessage for StatsReport {
                 failed: get_u64(req, "failed")?,
                 rejected_overload: get_u64(req, "rejected_overload")?,
                 protocol_errors: get_u64(req, "protocol_errors")?,
+                deduped: get_u64(req, "deduped")?,
+                shed: get_u64(req, "shed")?,
+            },
+            closes: CloseCounters {
+                clean: get_u64(cls, "clean")?,
+                read_timeout: get_u64(cls, "read_timeout")?,
+                write_timeout: get_u64(cls, "write_timeout")?,
+                frame_deadline: get_u64(cls, "frame_deadline")?,
+                reset: get_u64(cls, "reset")?,
+                protocol: get_u64(cls, "protocol")?,
+                conn_cap: get_u64(cls, "conn_cap")?,
             },
             artifacts: ArtifactCounters {
                 graph_hits: get_u64(art, "graph_hits")?,
@@ -687,27 +776,42 @@ impl WireMessage for StatsReport {
                 v.get("total_latency")
                     .ok_or_else(|| ProtoError::Schema("missing total_latency".into()))?,
             )?,
+            queue_wait_latency: LatencySummary::from_json(
+                v.get("queue_wait_latency")
+                    .ok_or_else(|| ProtoError::Schema("missing queue_wait_latency".into()))?,
+            )?,
         })
     }
 }
 
 /// A server response frame.
+///
+/// The variants are intentionally unboxed despite the size spread
+/// (`Stats` carries the full report): responses are short-lived — one
+/// per frame, plus a bounded handful of dedup reply slots — so boxing
+/// would complicate every construction site for negligible memory.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// A run completed.
     Run(RunResult),
-    /// The bounded request queue is full — structured backpressure; the
+    /// The bounded request queue is full, the service is in degraded mode,
+    /// or the connection cap is reached — structured backpressure; the
     /// client should retry later (nothing was enqueued).
     Overloaded {
         /// The queue capacity that was exhausted.
         queue_capacity: u64,
+        /// Suggested minimum backoff before retrying, in milliseconds
+        /// (0 = no hint). The degraded-mode shed path sets this to its
+        /// queue-wait threshold so clients back off past the congestion.
+        retry_after_ms: u64,
     },
     /// A run failed with a typed error.
     Error {
         /// Stable machine-readable error category (`budget-exceeded`,
         /// `invalid-input`, `invalid-config`, `invalid-chain-cover`,
         /// `self-check-failed`, `bad-request`, `shutting-down`,
-        /// `internal-panic`).
+        /// `internal-panic`, `timeout`, `protocol`).
         kind: String,
         /// Human-readable detail.
         message: String,
@@ -726,9 +830,10 @@ impl WireMessage for Response {
             Response::Run(r) => {
                 Json::obj(vec![("type", Json::Str("run".into())), ("result", r.to_json())])
             }
-            Response::Overloaded { queue_capacity } => Json::obj(vec![
+            Response::Overloaded { queue_capacity, retry_after_ms } => Json::obj(vec![
                 ("type", Json::Str("overloaded".into())),
                 ("queue_capacity", Json::U64(*queue_capacity)),
+                ("retry_after_ms", Json::U64(*retry_after_ms)),
             ]),
             Response::Error { kind, message } => Json::obj(vec![
                 ("type", Json::Str("error".into())),
@@ -751,9 +856,10 @@ impl WireMessage for Response {
                     .ok_or_else(|| ProtoError::Schema("run response missing result".into()))?;
                 Ok(Response::Run(RunResult::from_json(body)?))
             }
-            "overloaded" => {
-                Ok(Response::Overloaded { queue_capacity: get_u64(v, "queue_capacity")? })
-            }
+            "overloaded" => Ok(Response::Overloaded {
+                queue_capacity: get_u64(v, "queue_capacity")?,
+                retry_after_ms: get_opt_u64(v, "retry_after_ms")?.unwrap_or(0),
+            }),
             "error" => {
                 Ok(Response::Error { kind: get_str(v, "kind")?, message: get_str(v, "message")? })
             }
@@ -859,6 +965,7 @@ mod tests {
             self_check: true,
             validate: false,
             repeat: 3,
+            request_key: Some("retry-key-01".into()),
         }
     }
 
@@ -897,7 +1004,7 @@ mod tests {
         };
         for resp in [
             Response::Run(result),
-            Response::Overloaded { queue_capacity: 8 },
+            Response::Overloaded { queue_capacity: 8, retry_after_ms: 250 },
             Response::Error { kind: "budget-exceeded".into(), message: "cycle budget".into() },
             Response::Stats(StatsReport::default()),
             Response::Pong,
@@ -974,6 +1081,31 @@ mod tests {
         req.repeat = 0;
         let v = req.to_json();
         assert!(RunRequest::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn content_fingerprint_ignores_request_key() {
+        let mut a = sample_run_request();
+        let mut b = sample_run_request();
+        a.request_key = None;
+        b.request_key = Some("other-key".into());
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        b.iters = Some(6);
+        assert_ne!(a.content_fingerprint(), b.content_fingerprint());
+    }
+
+    #[test]
+    fn missing_retry_hint_decodes_as_zero() {
+        // Frames from a pre-hint peer lack retry_after_ms entirely.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"type\":\"overloaded\",\"queue_capacity\":4}").unwrap();
+        match recv::<_, Response>(&mut &buf[..]).unwrap() {
+            Response::Overloaded { queue_capacity, retry_after_ms } => {
+                assert_eq!(queue_capacity, 4);
+                assert_eq!(retry_after_ms, 0);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::proto::{
     self, error_response, run_result_from_report, ArtifactSource, DiskCacheCounters, Request,
     Response, RunRequest, StatsReport,
 };
-use crate::stats::{Counters, LatencyHistogram};
+use crate::stats::{CloseCause, Counters, LatencyHistogram};
 use chg_bench::{PreprocessCache, Scale};
 use chgraph::{
     ChGraphRuntime, ExecutionReport, GlaRuntime, HatsVRuntime, HygraRuntime, PrefetcherRuntime,
@@ -39,18 +39,22 @@ use chgraph::{
 use hyperalgos::{self_check_prepared, try_run_workload_prepared, Workload};
 use hypergraph::datasets::Dataset;
 use std::collections::VecDeque;
-use std::io;
+use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How often blocked loops re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
-/// Read budget for one frame once its first byte has arrived — bounds how
-/// long a stalled client can pin a handler thread.
-const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Samples in the sliding queue-wait window the degraded-mode shed reads
+/// its p95 from. Small on purpose: the signal must react within a few
+/// requests, not after thousands.
+const QUEUE_WAIT_WINDOW: usize = 64;
+/// Retry hint attached to conn-cap refusals (connection churn clears much
+/// faster than queue congestion, so the hint is short).
+const CONN_CAP_RETRY_MS: u64 = 100;
 
 /// Service configuration.
 #[derive(Clone)]
@@ -71,6 +75,31 @@ pub struct ServeConfig {
     pub default_watchdog: WatchdogConfig,
     /// Host threads for OAG construction inside a worker.
     pub oag_build_threads: usize,
+    /// Quiet-period budget per read while a frame is in progress: if no
+    /// byte arrives for this long, the connection is closed (read-timeout).
+    pub read_timeout: Duration,
+    /// Budget for each reply write: a client that stops reading cannot pin
+    /// a worker past this (write-timeout close).
+    pub write_timeout: Duration,
+    /// Total budget for one request frame, first byte to last. Bounds
+    /// slow-loris drip-feeds that stay under the per-read quiet period.
+    pub frame_deadline: Duration,
+    /// Concurrent-connection cap; further accepts get a best-effort
+    /// `overloaded` reply and an immediate close.
+    pub max_connections: usize,
+    /// Degraded mode: when the p95 of the last [`QUEUE_WAIT_WINDOW`]
+    /// queue waits crosses this threshold (and a backlog exists), new runs
+    /// are shed immediately with an `overloaded` reply carrying a
+    /// `retry_after_ms` hint. `None` disables shedding.
+    pub shed_queue_wait: Option<Duration>,
+    /// Single-flight request-key slots kept for dedup (in-flight plus most
+    /// recently completed).
+    pub dedup_capacity: usize,
+    /// Run crash recovery on the on-disk cache at startup: sweep every
+    /// `*.tmp.*` leftover, purge `*.corrupt` quarantine residue, and make
+    /// future quarantines delete rather than rename. The daemon sets this —
+    /// a restart after SIGKILL must converge to a residue-free cache.
+    pub recover_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +112,13 @@ impl Default for ServeConfig {
             cache_dir: None,
             default_watchdog: WatchdogConfig::default(),
             oag_build_threads: 1,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            frame_deadline: Duration::from_secs(60),
+            max_connections: 64,
+            shed_queue_wait: None,
+            dedup_capacity: 128,
+            recover_cache: false,
         }
     }
 }
@@ -167,6 +203,97 @@ impl BoundedQueue {
     }
 }
 
+/// A single-flight reply slot for one `request_key`: the first holder
+/// (owner) executes and publishes; every later holder blocks here and gets
+/// a clone of the identical reply.
+struct ReplySlot {
+    /// Content fingerprint of the owning request — a key reused for a
+    /// *different* request is rejected instead of served a wrong result.
+    request_fp: u64,
+    cell: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new(request_fp: u64) -> Self {
+        ReplySlot { request_fp, cell: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    /// Publishes the reply and wakes every waiter.
+    fn put(&self, response: Response) {
+        let mut cell = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        *cell = Some(response);
+        drop(cell);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the owner publishes. The owner always publishes — its
+    /// handler thread is scoped and every execution path produces a
+    /// response — so this wait is bounded by the run's watchdog budget.
+    fn wait(&self) -> Response {
+        let mut cell = self.cell.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(response) = cell.as_ref() {
+                return response.clone();
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(cell, POLL_INTERVAL)
+                .unwrap_or_else(PoisonError::into_inner);
+            cell = guard;
+        }
+    }
+}
+
+/// Outcome of claiming a request key.
+enum Claim {
+    /// This request owns the key: execute, then [`ReplySlot::put`].
+    Owner(Arc<ReplySlot>),
+    /// Another request owns (or recently completed) the key: wait on it.
+    Follower(Arc<ReplySlot>),
+    /// The key exists but for a different request body.
+    Mismatch,
+}
+
+/// The request-key dedup table: insertion-ordered `(key, slot)` pairs with
+/// a bounded capacity (completed slots linger until evicted, so a replay
+/// shortly after completion is also served without re-execution). Evicting
+/// an in-flight slot is safe — its `Arc` keeps it alive for its waiters.
+struct DedupTable {
+    inner: Mutex<VecDeque<(String, Arc<ReplySlot>)>>,
+    capacity: usize,
+}
+
+impl DedupTable {
+    fn new(capacity: usize) -> Self {
+        DedupTable { inner: Mutex::new(VecDeque::new()), capacity: capacity.max(1) }
+    }
+
+    fn claim(&self, key: &str, request_fp: u64) -> Claim {
+        let mut table = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some((_, slot)) = table.iter().find(|(k, _)| k == key) {
+            return if slot.request_fp == request_fp {
+                Claim::Follower(slot.clone())
+            } else {
+                Claim::Mismatch
+            };
+        }
+        let slot = Arc::new(ReplySlot::new(request_fp));
+        table.push_back((key.to_string(), slot.clone()));
+        while table.len() > self.capacity {
+            table.pop_front();
+        }
+        Claim::Owner(slot)
+    }
+
+    /// Drops the key so a later retry re-executes — used when the owner's
+    /// outcome is not a cacheable result (overloaded, shutting-down, ...).
+    fn forget(&self, key: &str) {
+        let mut table = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        table.retain(|(k, _)| k != key);
+    }
+}
+
 /// Cloneable handle that triggers graceful shutdown from another thread
 /// (the daemon's SIGINT bridge, or tests).
 #[derive(Clone)]
@@ -197,16 +324,58 @@ struct Shared {
     store: ArtifactStore,
     queue: BoundedQueue,
     counters: Counters,
+    dedup: DedupTable,
     prepare_latency: LatencyHistogram,
     execute_latency: LatencyHistogram,
     total_latency: LatencyHistogram,
+    queue_wait_latency: LatencyHistogram,
+    /// Sliding window of the most recent queue waits (micros) — the
+    /// degraded-mode shed signal.
+    recent_queue_wait: Mutex<VecDeque<u64>>,
     in_flight: AtomicU64,
+    active_connections: AtomicUsize,
     started: Instant,
     cfg: ServeConfig,
     stop: Arc<AtomicBool>,
 }
 
 impl Shared {
+    /// Records one queue wait into the histogram and the shed window.
+    fn record_queue_wait(&self, micros: u64) {
+        self.queue_wait_latency.record(micros);
+        let mut window = self.recent_queue_wait.lock().unwrap_or_else(PoisonError::into_inner);
+        window.push_back(micros);
+        while window.len() > QUEUE_WAIT_WINDOW {
+            window.pop_front();
+        }
+    }
+
+    /// Nearest-rank p95 over the sliding queue-wait window (0 when empty).
+    fn windowed_queue_wait_p95(&self) -> u64 {
+        let window = self.recent_queue_wait.lock().unwrap_or_else(PoisonError::into_inner);
+        if window.is_empty() {
+            return 0;
+        }
+        let mut sorted: Vec<u64> = window.iter().copied().collect();
+        drop(window);
+        sorted.sort_unstable();
+        let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Whether degraded mode is shedding right now: windowed queue-wait p95
+    /// over threshold *and* a backlog still queued (an empty queue means
+    /// the congestion cleared, so stale window samples must not wedge the
+    /// service in degraded mode).
+    fn shedding(&self) -> bool {
+        match self.cfg.shed_queue_wait {
+            Some(threshold) => {
+                self.queue.depth() > 0
+                    && self.windowed_queue_wait_p95() >= threshold.as_micros() as u64
+            }
+            None => false,
+        }
+    }
     fn stats(&self) -> StatsReport {
         let disk = match self.store.disk() {
             Some(cache) => {
@@ -228,20 +397,99 @@ impl Shared {
             queue_capacity: self.cfg.queue_capacity as u64,
             queue_depth: self.queue.depth() as u64 + self.in_flight.load(Ordering::Relaxed),
             requests: self.counters.snapshot(),
+            closes: self.counters.closes(),
             artifacts: self.store.counters(),
             disk_cache: disk,
             prepare_latency: self.prepare_latency.summary(),
             execute_latency: self.execute_latency.summary(),
             total_latency: self.total_latency.summary(),
+            queue_wait_latency: self.queue_wait_latency.summary(),
         }
     }
 }
 
+/// Binds a listening socket with `SO_REUSEADDR`, which std's
+/// `TcpListener::bind` never sets: a daemon restarted after a crash must
+/// reclaim its port immediately, even while connections from its previous
+/// life linger in TIME_WAIT (the SIGKILL-recovery test depends on this).
+/// IPv4-only fast path through the C symbols std already links; anything
+/// else falls back to the plain std bind.
+#[cfg(target_os = "linux")]
+fn bind_listener(addr: &std::net::SocketAddr) -> io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+    let std::net::SocketAddr::V4(v4) = addr else {
+        return TcpListener::bind(addr);
+    };
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fail = |fd: i32| -> io::Error {
+            let e = io::Error::last_os_error();
+            close(fd);
+            e
+        };
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) != 0 {
+            return Err(fail(fd));
+        }
+        // struct sockaddr_in: family u16, port u16be, addr u32be, zero[8].
+        let mut sa = [0u8; 16];
+        sa[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+        sa[2..4].copy_from_slice(&v4.port().to_be_bytes());
+        sa[4..8].copy_from_slice(&v4.ip().octets());
+        if bind(fd, sa.as_ptr(), 16) != 0 {
+            return Err(fail(fd));
+        }
+        if listen(fd, 128) != 0 {
+            return Err(fail(fd));
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn bind_listener(addr: &std::net::SocketAddr) -> io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
 impl Server {
     /// Binds the service socket (port 0 picks an ephemeral port; see
-    /// [`local_addr`](Server::local_addr)).
+    /// [`local_addr`](Server::local_addr)). The socket carries
+    /// `SO_REUSEADDR` so a restarted daemon reclaims its port without
+    /// waiting out TIME_WAIT.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
+        let mut last_err = None;
+        let mut listener = None;
+        for candidate in addr.to_socket_addrs()? {
+            match bind_listener(&candidate) {
+                Ok(l) => {
+                    listener = Some(l);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let listener = match listener {
+            Some(l) => l,
+            None => {
+                return Err(last_err.unwrap_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "no addresses to bind")
+                }))
+            }
+        };
         listener.set_nonblocking(true)?;
         Ok(Server { listener, cfg, stop: Arc::new(AtomicBool::new(false)) })
     }
@@ -263,7 +511,20 @@ impl Server {
     pub fn run(self) -> io::Result<StatsReport> {
         let disk = match &self.cfg.cache_dir {
             Some(dir) => match PreprocessCache::new(dir) {
-                Ok(cache) => Some(Arc::new(cache)),
+                Ok(cache) => {
+                    if self.cfg.recover_cache {
+                        cache.set_remove_corrupt(true);
+                        let (tmp, corrupt) = cache.recover();
+                        if tmp + corrupt > 0 {
+                            eprintln!(
+                                "[chgraphd: cache recovery swept {tmp} torn write(s), \
+                                 {corrupt} quarantined entr{}]",
+                                if corrupt == 1 { "y" } else { "ies" }
+                            );
+                        }
+                    }
+                    Some(Arc::new(cache))
+                }
                 Err(e) => {
                     eprintln!("[chgraphd: cache disabled: cannot open {dir}: {e}]");
                     None
@@ -275,10 +536,14 @@ impl Server {
             store: ArtifactStore::new(self.cfg.graph_lru, self.cfg.oag_lru, disk),
             queue: BoundedQueue::new(self.cfg.queue_capacity),
             counters: Counters::new(),
+            dedup: DedupTable::new(self.cfg.dedup_capacity),
             prepare_latency: LatencyHistogram::new(),
             execute_latency: LatencyHistogram::new(),
             total_latency: LatencyHistogram::new(),
+            queue_wait_latency: LatencyHistogram::new(),
+            recent_queue_wait: Mutex::new(VecDeque::new()),
             in_flight: AtomicU64::new(0),
+            active_connections: AtomicUsize::new(0),
             started: Instant::now(),
             cfg: self.cfg.clone(),
             stop: self.stop.clone(),
@@ -292,7 +557,29 @@ impl Server {
             while !shared.stop.load(Ordering::SeqCst) {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
-                        scope.spawn(move || handle_connection(stream, shared));
+                        if shared.active_connections.load(Ordering::SeqCst)
+                            >= shared.cfg.max_connections.max(1)
+                        {
+                            // Shed at the door: best-effort structured
+                            // refusal, then close. Never spawn a handler.
+                            shared.counters.on_conn_cap();
+                            let mut stream = stream;
+                            let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+                            let _ = proto::send(
+                                &mut stream,
+                                &Response::Overloaded {
+                                    queue_capacity: shared.cfg.queue_capacity as u64,
+                                    retry_after_ms: CONN_CAP_RETRY_MS,
+                                },
+                            );
+                            continue;
+                        }
+                        shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                        scope.spawn(move || {
+                            let cause = handle_connection(stream, shared);
+                            shared.counters.on_close(cause);
+                            shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                        });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(POLL_INTERVAL);
@@ -314,6 +601,7 @@ impl Server {
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        shared.record_queue_wait(job.enqueued_at.elapsed().as_micros() as u64);
         let response = execute_isolated(&job.request, shared);
         match &response {
             Response::Run(_) => shared.counters.on_ok(),
@@ -501,9 +789,11 @@ fn execute_run(request: &RunRequest, shared: &Shared) -> Response {
 }
 
 /// Handles one client connection: a sequence of request frames until EOF,
-/// protocol error, or shutdown.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+/// timeout, protocol error, or shutdown. Returns why the connection ended;
+/// the accept loop tallies it.
+fn handle_connection(stream: TcpStream, shared: &Shared) -> CloseCause {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let mut stream = stream;
     loop {
         // Wait for the next frame's first byte without consuming it, so a
@@ -511,28 +801,66 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         // read timeout can never tear a half-received frame.
         match wait_for_data(&stream, shared) {
             WaitOutcome::Ready => {}
-            WaitOutcome::Closed | WaitOutcome::Shutdown => return,
+            WaitOutcome::Closed | WaitOutcome::Shutdown => return CloseCause::Clean,
+            WaitOutcome::Reset => return CloseCause::Reset,
         }
-        if stream.set_read_timeout(Some(FRAME_READ_TIMEOUT)).is_err() {
-            return;
-        }
-        let request: Request = match proto::recv(&mut stream) {
+        // The frame deadline clock starts at its first byte; the reader
+        // enforces both the per-read quiet period and the total deadline.
+        let mut reader = DeadlineReader::new(
+            &stream,
+            shared.cfg.read_timeout,
+            Instant::now() + shared.cfg.frame_deadline,
+        );
+        let request: Request = match proto::recv(&mut reader) {
             Ok(req) => req,
-            Err(proto::ProtoError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                return; // clean EOF between frames
+            Err(proto::ProtoError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Tell the slow peer why before closing (best effort — its
+                // send direction may be the broken one).
+                let cause = if reader.deadline_hit {
+                    CloseCause::FrameDeadline
+                } else {
+                    CloseCause::ReadTimeout
+                };
+                let resp = Response::Error {
+                    kind: "timeout".into(),
+                    message: match cause {
+                        CloseCause::FrameDeadline => format!(
+                            "request frame exceeded the {:?} frame deadline",
+                            shared.cfg.frame_deadline
+                        ),
+                        _ => format!(
+                            "no data for {:?} while a frame was in progress",
+                            shared.cfg.read_timeout
+                        ),
+                    },
+                };
+                let _ = proto::send(&mut stream, &resp);
+                return cause;
             }
+            Err(proto::ProtoError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return CloseCause::Reset; // connection died mid-frame
+            }
+            Err(proto::ProtoError::Io(_)) => return CloseCause::Reset,
             Err(e) => {
                 shared.counters.on_protocol_error();
                 let resp = Response::Error { kind: "protocol".into(), message: e.to_string() };
                 let _ = proto::send(&mut stream, &resp);
-                return;
+                return CloseCause::Protocol;
             }
         };
         shared.counters.on_received();
         let done = matches!(request, Request::Shutdown);
         let response = dispatch(request, shared);
-        if proto::send(&mut stream, &response).is_err() || done {
-            return;
+        if let Err(e) = proto::send(&mut stream, &response) {
+            return match e.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => CloseCause::WriteTimeout,
+                _ => CloseCause::Reset,
+            };
+        }
+        if done {
+            return CloseCause::Clean;
         }
     }
 }
@@ -541,6 +869,7 @@ enum WaitOutcome {
     Ready,
     Closed,
     Shutdown,
+    Reset,
 }
 
 /// Polls `peek` until a byte is available, the peer closes, or shutdown is
@@ -548,7 +877,7 @@ enum WaitOutcome {
 fn wait_for_data(stream: &TcpStream, shared: &Shared) -> WaitOutcome {
     let mut byte = [0u8; 1];
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return WaitOutcome::Closed;
+        return WaitOutcome::Reset;
     }
     loop {
         match stream.peek(&mut byte) {
@@ -561,7 +890,52 @@ fn wait_for_data(stream: &TcpStream, shared: &Shared) -> WaitOutcome {
                     return WaitOutcome::Shutdown;
                 }
             }
-            Err(_) => return WaitOutcome::Closed,
+            Err(_) => return WaitOutcome::Reset,
+        }
+    }
+}
+
+/// A [`Read`] adapter over a `TcpStream` that enforces two budgets at once:
+/// a per-read quiet period (`read_timeout`) and an absolute per-frame
+/// deadline. Each read's socket timeout is the *smaller* of the quiet
+/// period and the time left until the deadline, so a slow-loris drip that
+/// always arrives just inside the quiet period still hits the frame
+/// deadline. After a timeout, `deadline_hit` says which budget fired.
+struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    read_timeout: Duration,
+    deadline: Instant,
+    /// `true` when the last timeout came from the frame deadline rather
+    /// than the per-read quiet period.
+    deadline_hit: bool,
+}
+
+impl<'a> DeadlineReader<'a> {
+    fn new(stream: &'a TcpStream, read_timeout: Duration, deadline: Instant) -> Self {
+        DeadlineReader { stream, read_timeout, deadline, deadline_hit: false }
+    }
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            self.deadline_hit = true;
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "frame deadline exceeded"));
+        }
+        let budget = remaining.min(self.read_timeout);
+        // `set_read_timeout(Some(ZERO))` is an invalid argument; `budget`
+        // is nonzero here because `remaining` is.
+        self.stream.set_read_timeout(Some(budget))?;
+        match self.stream.read(buf) {
+            Ok(n) => Ok(n),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                self.deadline_hit = budget < self.read_timeout;
+                Err(io::Error::new(io::ErrorKind::TimedOut, e))
+            }
+            Err(e) => Err(e),
         }
     }
 }
@@ -583,9 +957,38 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
                     message: "service is draining; not accepting new runs".into(),
                 };
             }
+            // Degraded mode: shed before touching dedup or the queue so a
+            // congested service answers in microseconds, not queue waits.
+            if shared.shedding() {
+                shared.counters.on_shed();
+                let threshold = shared.cfg.shed_queue_wait.unwrap_or_default();
+                return Response::Overloaded {
+                    queue_capacity: shared.cfg.queue_capacity as u64,
+                    retry_after_ms: (threshold.as_millis() as u64).max(1),
+                };
+            }
+            // Idempotent replay: a request_key claims a single-flight slot.
+            // Followers wait on the owner's slot and receive the identical
+            // reply without executing again.
+            let claimed = match &run.request_key {
+                Some(key) => match shared.dedup.claim(key, run.content_fingerprint()) {
+                    Claim::Owner(slot) => Some((key.clone(), slot)),
+                    Claim::Follower(slot) => {
+                        shared.counters.on_deduped();
+                        return slot.wait();
+                    }
+                    Claim::Mismatch => {
+                        return Response::Error {
+                            kind: "bad-request".into(),
+                            message: "request_key reused with a different request".into(),
+                        };
+                    }
+                },
+                None => None,
+            };
             let (tx, rx) = mpsc::channel();
             let job = QueuedRun { request: run, enqueued_at: Instant::now(), reply: tx };
-            match shared.queue.try_push(job) {
+            let response = match shared.queue.try_push(job) {
                 Ok(()) => match rx.recv() {
                     Ok(response) => response,
                     Err(_) => Response::Error {
@@ -599,9 +1002,22 @@ fn dispatch(request: Request, shared: &Shared) -> Response {
                 },
                 Err(PushError::Full) => {
                     shared.counters.on_rejected();
-                    Response::Overloaded { queue_capacity: shared.cfg.queue_capacity as u64 }
+                    Response::Overloaded {
+                        queue_capacity: shared.cfg.queue_capacity as u64,
+                        retry_after_ms: 0,
+                    }
                 }
+            };
+            if let Some((key, slot)) = claimed {
+                // Only a completed run is replay-safe under this key; a
+                // transient outcome (overloaded, draining) must not be
+                // replayed to the retry that comes to fix it.
+                if !matches!(response, Response::Run(_)) {
+                    shared.dedup.forget(&key);
+                }
+                slot.put(response.clone());
             }
+            response
         }
     }
 }

@@ -5,8 +5,33 @@
 //! atomics — stats are monitoring data, not synchronization — and read out
 //! as one [`StatsReport`] snapshot by the `stats` request handler.
 
-use crate::proto::{LatencySummary, RequestCounters};
+use crate::proto::{CloseCounters, LatencySummary, RequestCounters};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why the server closed (or refused) a client connection. Every connection
+/// ends in exactly one of these; the per-cause counters in
+/// [`CloseCounters`] are the wire-visible tally the chaos tests assert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CloseCause {
+    /// The peer finished and closed between frames (EOF at a frame
+    /// boundary), or the service drained while the connection was idle.
+    Clean,
+    /// No byte arrived within the per-read quiet-period timeout while a
+    /// frame was in progress.
+    ReadTimeout,
+    /// A reply write could not make progress within the write timeout (a
+    /// stalled or non-reading client).
+    WriteTimeout,
+    /// One frame took longer than the total frame deadline to arrive — the
+    /// slow-loris drip-feed guard.
+    FrameDeadline,
+    /// The connection died mid-frame (torn read/write, abrupt peer close).
+    Reset,
+    /// The frame decoded to garbage (bad magic, checksum mismatch, schema
+    /// violation); the server replied with a typed `protocol` error and
+    /// closed.
+    Protocol,
+}
 
 /// Number of histogram buckets. Bucket `i` holds samples in
 /// `[2^i, 2^(i+1))` microseconds (bucket 0 holds `[0, 2)`), so 64 buckets
@@ -97,6 +122,15 @@ pub struct Counters {
     failed: AtomicU64,
     rejected_overload: AtomicU64,
     protocol_errors: AtomicU64,
+    deduped: AtomicU64,
+    shed: AtomicU64,
+    conn_cap: AtomicU64,
+    closed_clean: AtomicU64,
+    closed_read_timeout: AtomicU64,
+    closed_write_timeout: AtomicU64,
+    closed_frame_deadline: AtomicU64,
+    closed_reset: AtomicU64,
+    closed_protocol: AtomicU64,
 }
 
 impl Counters {
@@ -130,6 +164,37 @@ impl Counters {
         self.protocol_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A run with a `request_key` was answered from another request's
+    /// single-flight slot instead of executing again.
+    pub fn on_deduped(&self) {
+        self.deduped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A run was rejected fast because the service is in degraded mode
+    /// (queue-wait p95 over threshold).
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection was refused at accept because the concurrent-connection
+    /// cap was reached.
+    pub fn on_conn_cap(&self) {
+        self.conn_cap.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection ended; tally its cause.
+    pub fn on_close(&self, cause: CloseCause) {
+        let counter = match cause {
+            CloseCause::Clean => &self.closed_clean,
+            CloseCause::ReadTimeout => &self.closed_read_timeout,
+            CloseCause::WriteTimeout => &self.closed_write_timeout,
+            CloseCause::FrameDeadline => &self.closed_frame_deadline,
+            CloseCause::Reset => &self.closed_reset,
+            CloseCause::Protocol => &self.closed_protocol,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot for the stats response.
     pub fn snapshot(&self) -> RequestCounters {
         RequestCounters {
@@ -138,6 +203,21 @@ impl Counters {
             failed: self.failed.load(Ordering::Relaxed),
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the per-cause connection-close tallies.
+    pub fn closes(&self) -> CloseCounters {
+        CloseCounters {
+            clean: self.closed_clean.load(Ordering::Relaxed),
+            read_timeout: self.closed_read_timeout.load(Ordering::Relaxed),
+            write_timeout: self.closed_write_timeout.load(Ordering::Relaxed),
+            frame_deadline: self.closed_frame_deadline.load(Ordering::Relaxed),
+            reset: self.closed_reset.load(Ordering::Relaxed),
+            protocol: self.closed_protocol.load(Ordering::Relaxed),
+            conn_cap: self.conn_cap.load(Ordering::Relaxed),
         }
     }
 }
@@ -199,11 +279,40 @@ mod tests {
         c.on_ok();
         c.on_rejected();
         c.on_protocol_error();
+        c.on_deduped();
+        c.on_shed();
         let s = c.snapshot();
         assert_eq!(s.received, 2);
         assert_eq!(s.ok, 1);
         assert_eq!(s.failed, 0);
         assert_eq!(s.rejected_overload, 1);
         assert_eq!(s.protocol_errors, 1);
+        assert_eq!(s.deduped, 1);
+        assert_eq!(s.shed, 1);
+    }
+
+    #[test]
+    fn close_causes_are_tallied_separately() {
+        let c = Counters::new();
+        for cause in [
+            CloseCause::Clean,
+            CloseCause::Clean,
+            CloseCause::ReadTimeout,
+            CloseCause::WriteTimeout,
+            CloseCause::FrameDeadline,
+            CloseCause::Reset,
+            CloseCause::Protocol,
+        ] {
+            c.on_close(cause);
+        }
+        c.on_conn_cap();
+        let s = c.closes();
+        assert_eq!(s.clean, 2);
+        assert_eq!(s.read_timeout, 1);
+        assert_eq!(s.write_timeout, 1);
+        assert_eq!(s.frame_deadline, 1);
+        assert_eq!(s.reset, 1);
+        assert_eq!(s.protocol, 1);
+        assert_eq!(s.conn_cap, 1);
     }
 }

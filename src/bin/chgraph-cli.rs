@@ -51,6 +51,9 @@ fn usage() -> ExitCode {
          \x20                 [--wmin <n>] [--iters <n>] [--max-cycles <n>]\n\
          \x20                 [--max-wall-ms <n>] [--repeat <n>] [--validate]\n\
          \x20                 [--self-check] [--json]\n\
+         \x20                 [--retries <n>]      (retry transient failures with\n\
+         \x20                                       backoff + jitter; default 1 = none)\n\
+         \x20                 [--retry-base-ms <n>] [--request-key <key>]\n\
          \x20 chgraph-cli serve-stats --addr <host:port> [--json]"
     );
     ExitCode::FAILURE
@@ -235,9 +238,32 @@ fn cmd_submit(flags: HashMap<String, String>) -> Result<(), String> {
     }
     req.self_check = flag_on(&flags, "self-check");
     req.validate = flag_on(&flags, "validate");
-    let mut client =
-        chg_serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let result = client.run(req).map_err(|e| format!("{e}"))?;
+    req.request_key = flags.get("request-key").cloned();
+    let retries: u32 = match flags.get("retries") {
+        Some(v) => v.parse().map_err(|_| "bad --retries")?,
+        None => 1,
+    };
+    let result = if retries > 1 {
+        let mut policy = chg_serve::RetryPolicy::with_attempts(retries);
+        if let Some(v) = flags.get("retry-base-ms") {
+            policy.base =
+                std::time::Duration::from_millis(v.parse().map_err(|_| "bad --retry-base-ms")?);
+        }
+        let outcome =
+            chg_serve::Client::run_with_retry(addr, req, policy).map_err(|e| format!("{e}"))?;
+        if outcome.attempts > 1 {
+            eprintln!(
+                "[submit: succeeded on attempt {} after {} ms of backoff]",
+                outcome.attempts,
+                outcome.backoff_total.as_millis()
+            );
+        }
+        outcome.result
+    } else {
+        let mut client =
+            chg_serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        client.run(req).map_err(|e| format!("{e}"))?
+    };
     if flag_on(&flags, "json") {
         print!("{}", result.to_json().pretty());
     } else {
@@ -275,6 +301,16 @@ fn cmd_serve_stats(flags: HashMap<String, String>) -> Result<(), String> {
         "requests:        {} received ({} ok, {} failed, {} overloaded, {} protocol errors)",
         r.received, r.ok, r.failed, r.rejected_overload, r.protocol_errors
     );
+    println!(
+        "resilience:      {} deduped (request_key), {} shed (degraded mode)",
+        r.deduped, r.shed
+    );
+    let c = &stats.closes;
+    println!(
+        "closes by cause: {} clean, {} read-timeout, {} write-timeout, {} frame-deadline, \
+         {} reset, {} protocol, {} conn-cap",
+        c.clean, c.read_timeout, c.write_timeout, c.frame_deadline, c.reset, c.protocol, c.conn_cap
+    );
     let a = &stats.artifacts;
     println!(
         "artifact LRU:    graphs {} hit / {} miss, oags {} hit / {} miss, {} coalesced, {} evicted",
@@ -293,6 +329,7 @@ fn cmd_serve_stats(flags: HashMap<String, String>) -> Result<(), String> {
         ("prepare", &stats.prepare_latency),
         ("execute", &stats.execute_latency),
         ("total", &stats.total_latency),
+        ("queue", &stats.queue_wait_latency),
     ] {
         println!(
             "{name:<8} latency: p50 {} / p95 {} / p99 {} / max {} us ({} samples)",

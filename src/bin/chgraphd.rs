@@ -49,7 +49,14 @@ fn usage() -> ExitCode {
          \x20          [--cache-dir <dir>]     (on-disk preprocess cache; off by default)\n\
          \x20          [--threads <n>]         (host threads per OAG build, default 1)\n\
          \x20          [--max-cycles <n>]      (default per-request cycle budget)\n\
-         \x20          [--max-wall-ms <n>]     (default per-request wall-clock budget)"
+         \x20          [--max-wall-ms <n>]     (default per-request wall-clock budget)\n\
+         \x20          [--read-timeout-ms <n>] (per-read quiet period mid-frame, default 30000)\n\
+         \x20          [--write-timeout-ms <n>](per-reply write budget, default 30000)\n\
+         \x20          [--frame-deadline-ms <n>] (total per-frame budget, default 60000)\n\
+         \x20          [--max-conns <n>]       (concurrent connection cap, default 64)\n\
+         \x20          [--shed-ms <n>]         (degraded mode: shed when queue-wait p95\n\
+         \x20                                   exceeds this; off by default)\n\
+         \x20          [--dedup <n>]           (request-key single-flight slots, default 128)"
     );
     ExitCode::FAILURE
 }
@@ -81,6 +88,7 @@ fn run(flags: HashMap<String, String>) -> Result<(), String> {
         watchdog.max_wall =
             Some(Duration::from_millis(n.parse().map_err(|_| "bad --max-wall-ms")?));
     }
+    let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         workers: get_num("workers", 2)?.max(1),
         queue_capacity: get_num("queue", 16)?.max(1),
@@ -89,6 +97,26 @@ fn run(flags: HashMap<String, String>) -> Result<(), String> {
         cache_dir: flags.get("cache-dir").cloned(),
         default_watchdog: watchdog,
         oag_build_threads: get_num("threads", 1)?.max(1),
+        read_timeout: Duration::from_millis(
+            get_num("read-timeout-ms", defaults.read_timeout.as_millis() as usize)?.max(1) as u64,
+        ),
+        write_timeout: Duration::from_millis(
+            get_num("write-timeout-ms", defaults.write_timeout.as_millis() as usize)?.max(1) as u64,
+        ),
+        frame_deadline: Duration::from_millis(
+            get_num("frame-deadline-ms", defaults.frame_deadline.as_millis() as usize)?.max(1)
+                as u64,
+        ),
+        max_connections: get_num("max-conns", defaults.max_connections)?.max(1),
+        shed_queue_wait: flags
+            .get("shed-ms")
+            .map(|v| v.parse().map(Duration::from_millis).map_err(|_| "bad --shed-ms"))
+            .transpose()?,
+        dedup_capacity: get_num("dedup", defaults.dedup_capacity)?.max(1),
+        // The daemon is long-lived and restartable: converge the cache to a
+        // residue-free state after any crash instead of keeping post-mortem
+        // copies around forever.
+        recover_cache: true,
     };
     let addr = flags.get("addr").map(String::as_str).unwrap_or("127.0.0.1:7411");
 

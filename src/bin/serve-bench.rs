@@ -18,7 +18,10 @@
 
 use chg_bench::HostMeta;
 use chg_serve::json::Json;
-use chg_serve::{Client, RunRequest, ServeConfig, Server, WireMessage};
+use chg_serve::{
+    ChaosPolicy, ChaosProxy, Client, FaultPlan, RetryPolicy, RunRequest, ServeConfig, Server,
+    WireMessage,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -35,6 +38,12 @@ fn usage() -> ExitCode {
          \x20            [--dataset <abbrev>] (default LJ)\n\
          \x20            [--scale <f>]        (dataset scale, default 0.05)\n\
          \x20            [--workers <n>]      (in-process server workers, default 2)\n\
+         \x20            [--chaos-seed <n>]   (route clients through the seeded fault\n\
+         \x20                                  proxy; same seed = same fault schedule)\n\
+         \x20            [--error-rate <f>]   (fraction of faulted connections under\n\
+         \x20                                  chaos, default 0.25)\n\
+         \x20            [--retries <n>]      (attempts per request; default 5 under\n\
+         \x20                                  chaos, 1 otherwise)\n\
          \x20            [--out <file>]       (default BENCH_serve.json)"
     );
     ExitCode::FAILURE
@@ -61,26 +70,44 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank - 1]
 }
 
+#[derive(Default)]
 struct ClientOutcome {
     latencies_micros: Vec<u64>,
     errors: usize,
+    /// Errors whose classification permitted a retry (exhausted budget).
+    retryable_errors: usize,
+    /// Errors that terminated immediately (bad request, failed run, ...).
+    terminal_errors: usize,
+    /// Attempts beyond the first, summed over successful requests.
+    extra_attempts: u64,
+    /// Requests that needed more than one attempt to succeed.
+    retried_requests: u64,
 }
 
-/// One client connection issuing its share of the mix sequentially.
+/// One client issuing its share of the mix sequentially. With `retries`
+/// above 1 each request goes through [`Client::run_with_retry`] (fresh
+/// connection per attempt, seeded backoff, per-request idempotency key);
+/// otherwise one persistent connection issues plain runs.
 fn drive_client(
     addr: std::net::SocketAddr,
     client_idx: usize,
     requests: usize,
     dataset: &str,
     scale: f64,
+    retries: u32,
+    retry_seed: u64,
 ) -> ClientOutcome {
-    let mut outcome = ClientOutcome { latencies_micros: Vec::new(), errors: 0 };
-    let mut client = match Client::connect_ready(addr, Duration::from_secs(10)) {
-        Ok(c) => c,
-        Err(_) => {
-            outcome.errors = requests;
-            return outcome;
+    let mut outcome = ClientOutcome::default();
+    let mut persistent = if retries <= 1 {
+        match Client::connect_ready(addr, Duration::from_secs(10)) {
+            Ok(c) => Some(c),
+            Err(_) => {
+                outcome.errors = requests;
+                return outcome;
+            }
         }
+    } else {
+        None
     };
     for i in 0..requests {
         let (workload, runtime) = MIX[(client_idx + i) % MIX.len()];
@@ -88,12 +115,50 @@ fn drive_client(
         req.scale = scale;
         req.iters = Some(4);
         let start = Instant::now();
-        match client.run(req) {
-            Ok(_) => outcome.latencies_micros.push(start.elapsed().as_micros() as u64),
-            Err(_) => outcome.errors += 1,
+        let result = match &mut persistent {
+            Some(client) => client.run(req).map(|_| 1u32),
+            None => {
+                // A unique key per logical request: retries of *this*
+                // request dedup on the server; distinct requests do not.
+                req.request_key = Some(format!("bench-{retry_seed:x}-{client_idx}-{i}"));
+                let policy = RetryPolicy::with_attempts(retries)
+                    .with_seed(retry_seed ^ ((client_idx as u64) << 32) ^ i as u64);
+                Client::run_with_retry(addr, req, policy).map(|o| o.attempts)
+            }
+        };
+        match result {
+            Ok(attempts) => {
+                outcome.latencies_micros.push(start.elapsed().as_micros() as u64);
+                outcome.extra_attempts += u64::from(attempts.saturating_sub(1));
+                if attempts > 1 {
+                    outcome.retried_requests += 1;
+                }
+            }
+            Err(e) => {
+                outcome.errors += 1;
+                if e.is_retryable() {
+                    outcome.retryable_errors += 1;
+                } else {
+                    outcome.terminal_errors += 1;
+                }
+            }
         }
     }
     outcome
+}
+
+/// Stable label for a fault plan, for the per-kind breakdown.
+fn plan_kind(plan: &FaultPlan) -> &'static str {
+    match plan {
+        FaultPlan::Clean => "clean",
+        FaultPlan::Refuse => "refuse",
+        FaultPlan::Delay { .. } => "delay",
+        FaultPlan::Drip { .. } => "drip",
+        FaultPlan::Reset { .. } => "reset",
+        FaultPlan::Truncate { .. } => "truncate",
+        FaultPlan::Duplicate { .. } => "duplicate",
+        FaultPlan::Split { .. } => "split",
+    }
 }
 
 fn run(flags: HashMap<String, String>) -> Result<(), String> {
@@ -109,9 +174,26 @@ fn run(flags: HashMap<String, String>) -> Result<(), String> {
     let scale: f64 =
         flags.get("scale").map_or(Ok(0.05), |v| v.parse().map_err(|_| "bad --scale"))?;
     let out_path = flags.get("out").cloned().unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let chaos_seed: Option<u64> =
+        flags.get("chaos-seed").map(|v| v.parse().map_err(|_| "bad --chaos-seed")).transpose()?;
+    let error_rate: f64 =
+        flags.get("error-rate").map_or(Ok(0.25), |v| v.parse().map_err(|_| "bad --error-rate"))?;
+    let retries: u32 = match flags.get("retries") {
+        Some(v) => v.parse().map_err(|_| "bad --retries")?,
+        None => {
+            if chaos_seed.is_some() {
+                5
+            } else {
+                1
+            }
+        }
+    };
+    if chaos_seed.is_some() && retries <= 1 {
+        return Err("--chaos-seed needs --retries > 1 (faulted requests must be retryable)".into());
+    }
 
     // Either drive an external daemon or host the service in-process.
-    let (addr, in_process) = match flags.get("addr") {
+    let (upstream, in_process) = match flags.get("addr") {
         Some(a) => {
             let addr = a
                 .parse::<std::net::SocketAddr>()
@@ -131,12 +213,23 @@ fn run(flags: HashMap<String, String>) -> Result<(), String> {
         }
     };
 
+    // Under chaos, measured clients go through the fault proxy; warmup,
+    // stats, and shutdown keep a clean path to the daemon itself.
+    let proxy = match chaos_seed {
+        Some(seed) => Some(
+            ChaosProxy::spawn(upstream, ChaosPolicy::new(seed, error_rate))
+                .map_err(|e| format!("chaos proxy: {e}"))?,
+        ),
+        None => None,
+    };
+    let addr = proxy.as_ref().map_or(upstream, |p| p.addr());
+
     // Warmup: populate the artifact LRU so the measured window reports
     // steady-state (served-from-memory) latency, which is the quantity a
     // resident service exists to provide.
     {
-        let mut warm = Client::connect_ready(addr, Duration::from_secs(10))
-            .map_err(|e| format!("connect {addr}: {e}"))?;
+        let mut warm = Client::connect_ready(upstream, Duration::from_secs(10))
+            .map_err(|e| format!("connect {upstream}: {e}"))?;
         for (workload, runtime) in MIX {
             let mut req = RunRequest::new(workload, runtime, dataset.as_str());
             req.scale = scale;
@@ -145,15 +238,23 @@ fn run(flags: HashMap<String, String>) -> Result<(), String> {
         }
     }
 
+    let chaos_note = match chaos_seed {
+        Some(seed) => format!(", chaos seed {seed} @ error rate {error_rate}"),
+        None => String::new(),
+    };
     eprintln!(
-        "serve-bench: {clients} clients x {requests} requests, dataset {dataset} @ {scale}, {addr}"
+        "serve-bench: {clients} clients x {requests} requests, dataset {dataset} @ {scale}, \
+         {addr}{chaos_note}"
     );
     let started = Instant::now();
+    let retry_seed = chaos_seed.unwrap_or(1);
     let outcomes: Vec<ClientOutcome> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|idx| {
                 let dataset = dataset.as_str();
-                s.spawn(move || drive_client(addr, idx, requests, dataset, scale))
+                s.spawn(move || {
+                    drive_client(addr, idx, requests, dataset, scale, retries, retry_seed)
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("client thread")).collect()
@@ -167,10 +268,17 @@ fn run(flags: HashMap<String, String>) -> Result<(), String> {
     let completed = latencies.len();
     let throughput = completed as f64 / elapsed.as_secs_f64();
 
-    // Final server-side stats, then (if we own it) drain and join.
+    // Final server-side stats, then (if we own it) drain and join. Both go
+    // straight to the daemon, never through the fault proxy.
     let mut stats_client =
-        Client::connect_ready(addr, Duration::from_secs(10)).map_err(|e| e.to_string())?;
+        Client::connect_ready(upstream, Duration::from_secs(10)).map_err(|e| e.to_string())?;
     let stats = stats_client.stats().map_err(|e| format!("stats: {e}"))?;
+    // Stop injecting before the drain so no pump thread races the daemon's
+    // teardown.
+    let fault_events = proxy.map(|mut p| {
+        p.stop();
+        p.events()
+    });
     if let Some(handle) = in_process {
         stats_client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
         handle
@@ -178,6 +286,22 @@ fn run(flags: HashMap<String, String>) -> Result<(), String> {
             .map_err(|_| "server thread panicked".to_string())?
             .map_err(|e| format!("server: {e}"))?;
     }
+
+    let retryable_errors: usize = outcomes.iter().map(|o| o.retryable_errors).sum();
+    let terminal_errors: usize = outcomes.iter().map(|o| o.terminal_errors).sum();
+    let extra_attempts: u64 = outcomes.iter().map(|o| o.extra_attempts).sum();
+    let retried_requests: u64 = outcomes.iter().map(|o| o.retried_requests).sum();
+    let fault_breakdown = fault_events.as_ref().map(|events| {
+        let mut counts: Vec<(&'static str, u64)> = Vec::new();
+        for event in events {
+            let kind = plan_kind(&event.plan);
+            match counts.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((kind, 1)),
+            }
+        }
+        counts
+    });
 
     let host = HostMeta::collect();
     let doc = Json::obj(vec![
@@ -192,7 +316,11 @@ fn run(flags: HashMap<String, String>) -> Result<(), String> {
             ),
         ),
         ("command", Json::Str(format!(
-            "cargo run --release --bin serve-bench -- --clients {clients} --requests {requests} --dataset {dataset} --scale {scale}"
+            "cargo run --release --bin serve-bench -- --clients {clients} --requests {requests} --dataset {dataset} --scale {scale}{}",
+            match chaos_seed {
+                Some(seed) => format!(" --chaos-seed {seed} --error-rate {error_rate} --retries {retries}"),
+                None => String::new(),
+            }
         ))),
         (
             "host",
@@ -233,6 +361,33 @@ fn run(flags: HashMap<String, String>) -> Result<(), String> {
                 ("p95_micros", Json::U64(percentile(&latencies, 0.95))),
                 ("p99_micros", Json::U64(percentile(&latencies, 0.99))),
                 ("max_micros", Json::U64(latencies.last().copied().unwrap_or(0))),
+            ]),
+        ),
+        (
+            "resilience",
+            Json::obj(vec![
+                ("chaos_enabled", Json::Bool(chaos_seed.is_some())),
+                (
+                    "chaos_seed",
+                    chaos_seed.map_or(Json::Null, Json::U64),
+                ),
+                (
+                    "error_rate",
+                    if chaos_seed.is_some() { Json::F64(error_rate) } else { Json::Null },
+                ),
+                ("retries", Json::U64(u64::from(retries))),
+                ("retried_requests", Json::U64(retried_requests)),
+                ("extra_attempts", Json::U64(extra_attempts)),
+                ("retryable_errors", Json::U64(retryable_errors as u64)),
+                ("terminal_errors", Json::U64(terminal_errors as u64)),
+                (
+                    "fault_plans",
+                    fault_breakdown.map_or(Json::Null, |counts| {
+                        Json::obj(
+                            counts.into_iter().map(|(k, n)| (k, Json::U64(n))).collect(),
+                        )
+                    }),
+                ),
             ]),
         ),
         ("server_stats", stats.to_json()),

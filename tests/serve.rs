@@ -146,7 +146,7 @@ fn full_queue_rejects_with_overloaded() {
     assert!(a.is_ok(), "A must complete: {a:?}");
     assert!(b.is_ok(), "B must complete: {b:?}");
     match c {
-        Err(ClientError::Overloaded { queue_capacity }) => assert_eq!(queue_capacity, 1),
+        Err(ClientError::Overloaded { queue_capacity, .. }) => assert_eq!(queue_capacity, 1),
         other => panic!("C must be rejected with Overloaded, got {other:?}"),
     }
 
@@ -283,6 +283,178 @@ fn garbage_on_the_socket_gets_a_typed_protocol_error() {
 }
 
 // ---------------------------------------------------------------------------
+// Connection hardening: slow-loris, idempotent replays, degraded mode
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slow_loris_drip_hits_the_frame_deadline_and_frees_the_worker() {
+    use std::io::Write;
+    let cfg = ServeConfig {
+        workers: 1,
+        // Quiet period far above the drip interval: only the *total* frame
+        // deadline can fire, which is exactly the slow-loris guard.
+        read_timeout: Duration::from_secs(5),
+        frame_deadline: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(cfg);
+
+    let frame = encode_request(&Request::Ping);
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+    raw.set_nodelay(true).ok();
+    // Drip one byte per 100 ms: each read stays inside the quiet period,
+    // but the frame cannot complete inside the 500 ms deadline.
+    for byte in frame.iter().take(12) {
+        if raw.write_all(&[*byte]).is_err() {
+            break; // server already closed on us — also a pass condition
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    // The server must have sent a typed timeout error before closing.
+    raw.set_read_timeout(Some(Duration::from_secs(5))).expect("read timeout");
+    let reply: Result<Response, _> = proto::recv(&mut raw);
+    match reply {
+        Ok(Response::Error { kind, .. }) => assert_eq!(kind, "timeout"),
+        other => panic!("expected a typed timeout error, got {other:?}"),
+    }
+    // ... and then nothing more: the connection is closed.
+    let eof: Result<Response, _> = proto::recv(&mut raw);
+    assert!(eof.is_err(), "connection must be closed after the timeout reply");
+    drop(raw);
+
+    // The close is tallied under frame-deadline, and the worker is free:
+    // a fresh connection completes a real run.
+    wait_stats(addr, "frame-deadline close counted", |st| st.closes.frame_deadline == 1);
+    let result = connect(addr).run(base_request()).expect("fresh connection must succeed");
+    assert!(!result.fingerprint.is_empty());
+
+    let mut closer = connect(addr);
+    closer.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn duplicate_request_key_executes_once_with_identical_replies() {
+    let (addr, handle) = start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut req = base_request();
+    req.request_key = Some("idem-1".into());
+
+    let mut client = connect(addr);
+    let first = client.run(req.clone()).expect("first run");
+    let replay = client.run(req.clone()).expect("replayed run");
+    // Two identical replies...
+    assert_eq!(first.fingerprint, replay.fingerprint);
+    assert_eq!(first.cycles, replay.cycles);
+    assert_eq!(first.iterations, replay.iterations);
+    // ... from one execution: the replay came out of the single-flight
+    // slot, not the worker pool.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.requests.deduped, 1);
+    assert_eq!(stats.requests.ok, 1, "the key must execute exactly once");
+    assert!(stats.requests.received >= 2);
+
+    // The same key with a *different* request body is a bad request, never
+    // a silently wrong cached result.
+    let mut mismatched = base_request();
+    mismatched.request_key = Some("idem-1".into());
+    mismatched.iters = Some(5);
+    match client.run(mismatched) {
+        Err(ClientError::Server { kind, message }) => {
+            assert_eq!(kind, "bad-request");
+            assert!(message.contains("request_key"), "message should name the key: {message}");
+        }
+        other => panic!("expected bad-request for a reused key, got {other:?}"),
+    }
+
+    let mut closer = connect(addr);
+    closer.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn concurrent_duplicate_request_is_single_flighted() {
+    let (addr, handle) = start(ServeConfig { workers: 2, ..ServeConfig::default() });
+    connect(addr).run(base_request()).expect("warmup");
+
+    let keyed_heavy = || {
+        let mut req = base_request();
+        req.repeat = 60;
+        req.request_key = Some("single-flight".into());
+        req
+    };
+    let (a, b) = std::thread::scope(|s| {
+        let a = s.spawn(move || connect(addr).run(keyed_heavy()));
+        wait_stats(addr, "owner in flight", |st| st.queue_depth >= 1);
+        // Same key from a second connection: follower, not a second run.
+        // (Even if the owner already finished, the completed slot lingers
+        // and still answers — either way, one execution.)
+        let b = s.spawn(move || connect(addr).run(keyed_heavy()));
+        wait_stats(addr, "follower deduped", |st| st.requests.deduped == 1);
+        (a.join().expect("owner thread"), b.join().expect("follower thread"))
+    });
+    let (owner, follower) = (a.expect("owner run"), b.expect("follower run"));
+    assert_eq!(owner.fingerprint, follower.fingerprint);
+    assert_eq!(owner.cycles, follower.cycles);
+
+    let stats = connect(addr).stats().expect("stats");
+    assert_eq!(stats.requests.deduped, 1);
+    assert_eq!(stats.requests.ok, 2, "warmup + one keyed execution, not two");
+
+    let mut closer = connect(addr);
+    closer.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn degraded_mode_sheds_with_a_retry_hint() {
+    // Threshold zero: shed whenever a backlog exists — the deterministic
+    // way to reach degraded mode without timing games.
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        shed_queue_wait: Some(Duration::ZERO),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(cfg);
+    connect(addr).run(base_request()).expect("warmup");
+
+    let heavy = || {
+        let mut req = base_request();
+        req.repeat = 120;
+        req
+    };
+    let (a, b) = std::thread::scope(|s| {
+        let a = s.spawn(move || connect(addr).run(heavy()));
+        wait_stats(addr, "A in flight", |st| st.queue_depth == 1);
+        let b = s.spawn(move || connect(addr).run(heavy()));
+        wait_stats(addr, "B queued behind A", |st| st.queue_depth == 2);
+        // Backlog exists (B is queued) -> degraded mode sheds immediately,
+        // with a pacing hint.
+        match connect(addr).run(base_request()) {
+            Err(ClientError::Overloaded { retry_after_ms, .. }) => {
+                assert!(retry_after_ms >= 1, "shed reply must carry a retry hint");
+            }
+            other => panic!("expected a shed Overloaded reply, got {other:?}"),
+        }
+        (a.join().expect("A thread"), b.join().expect("B thread"))
+    });
+    assert!(a.is_ok() && b.is_ok(), "queued work still completes while shedding");
+
+    let stats = connect(addr).stats().expect("stats");
+    assert_eq!(stats.requests.shed, 1);
+    // The queue-wait histogram is live in the stats endpoint.
+    assert!(
+        stats.queue_wait_latency.count >= 3,
+        "warmup + A + B queue waits must be recorded: {:?}",
+        stats.queue_wait_latency
+    );
+
+    let mut closer = connect(addr);
+    closer.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+// ---------------------------------------------------------------------------
 // Property tests: wire round-trips for arbitrary field values
 // ---------------------------------------------------------------------------
 
@@ -305,14 +477,14 @@ fn arb_run_request() -> impl Strategy<Value = RunRequest> {
             (any::<bool>(), any::<u64>()),
             (any::<bool>(), 1u64..600_000),
         ),
-        (any::<bool>(), any::<bool>(), 1u32..1000),
+        (any::<bool>(), any::<bool>(), 1u32..1000, any::<bool>()),
     )
         .prop_map(
             |(
                 (w, r, d, scale_millis),
                 (has_cores, cores, has_wmin, wmin),
                 ((has_dmax, dmax), (has_iters, iters), (has_mc, max_cycles), (has_mw, max_wall)),
-                (self_check, validate, repeat),
+                (self_check, validate, repeat, has_key),
             )| {
                 let mut req = RunRequest::new(WORKLOADS[w], RUNTIMES[r], DATASETS[d]);
                 req.scale = scale_millis as f64 / 1000.0;
@@ -325,6 +497,7 @@ fn arb_run_request() -> impl Strategy<Value = RunRequest> {
                 req.self_check = self_check;
                 req.validate = validate;
                 req.repeat = repeat;
+                req.request_key = opt(has_key, format!("key-{repeat:04x}"));
                 req
             },
         )
